@@ -1,0 +1,441 @@
+(* Benchmark harness: regenerates every table of the paper's
+   evaluation, runs one Bechamel micro-benchmark group per table, and
+   reports the ablations called out in DESIGN.md §6.
+
+   Usage:
+     dune exec bench/main.exe                    # everything, scaled defaults
+     dune exec bench/main.exe -- --table 2       # one table only
+     dune exec bench/main.exe -- --scale 0.3     # bigger instances
+     dune exec bench/main.exe -- --trials 10     # more trials per instance
+     dune exec bench/main.exe -- --paper         # full paper sizes (hours)
+     dune exec bench/main.exe -- --skip-micro --skip-ablations *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ---------------- argument parsing ---------------- *)
+
+type args = {
+  mutable table : int option;
+  mutable scale : float;
+  mutable trials : int;
+  mutable paper : bool;
+  mutable skip_micro : bool;
+  mutable skip_ablations : bool;
+  mutable skip_tables : bool;
+}
+
+let parse_args () =
+  let a =
+    { table = None; scale = Ec_harness.Protocol.default_config.scale; trials = 5;
+      paper = false; skip_micro = false; skip_ablations = false; skip_tables = false }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--table" :: n :: rest | "-t" :: n :: rest ->
+      a.table <- Some (int_of_string n);
+      go rest
+    | "--scale" :: s :: rest ->
+      a.scale <- float_of_string s;
+      go rest
+    | "--trials" :: n :: rest ->
+      a.trials <- int_of_string n;
+      go rest
+    | "--paper" :: rest ->
+      a.paper <- true;
+      go rest
+    | "--skip-micro" :: rest ->
+      a.skip_micro <- true;
+      go rest
+    | "--skip-ablations" :: rest ->
+      a.skip_ablations <- true;
+      go rest
+    | "--skip-tables" :: rest ->
+      a.skip_tables <- true;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  a
+
+let config_of args =
+  if args.paper then Ec_harness.Protocol.paper_config
+  else
+    { Ec_harness.Protocol.default_config with
+      scale = args.scale;
+      trials = args.trials;
+      (* keep the default end-to-end run in the ten-minute range *)
+      time_limit_s = Some 15.0 }
+
+(* ---------------- paper tables ---------------- *)
+
+let run_tables args config =
+  let progress s = Printf.eprintf "  [%s]\n%!" s in
+  let wanted n = match args.table with None -> true | Some m -> m = n in
+  if wanted 1 then begin
+    section "Table 1 (paper Table 1: enabling EC)";
+    print_endline (Ec_harness.Table1.render (Ec_harness.Table1.run ~progress config))
+  end;
+  if wanted 2 then begin
+    section "Table 2 (paper Table 2: fast EC)";
+    print_endline (Ec_harness.Table2.render (Ec_harness.Table2.run ~progress config))
+  end;
+  if wanted 3 then begin
+    section "Table 3 (paper Table 3: preserving EC)";
+    print_endline (Ec_harness.Table3.render (Ec_harness.Table3.run ~progress config))
+  end
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+(* Shared fixture: one exact-tier instance, small enough that each
+   micro-benchmarked operation runs in well under a second. *)
+let micro_fixture () =
+  let spec = Ec_instances.Registry.scale 0.2 (Ec_instances.Registry.find "ii8a1") in
+  let inst = Ec_instances.Registry.build spec in
+  let cfg = { Ec_harness.Protocol.default_config with scale = 0.2 } in
+  let a0 =
+    match Ec_harness.Protocol.initial_solve cfg inst with
+    | Some (a, _) -> a
+    | None -> failwith "micro fixture: initial solve failed"
+  in
+  let rng = Ec_util.Rng.create 41 in
+  let script =
+    Ec_cnf.Change.fast_ec_script rng inst.formula ~eliminate:3 ~add:10 ~clause_width:3
+  in
+  let f' = Ec_cnf.Change.apply_script inst.formula script in
+  let p = Ec_cnf.Assignment.extend a0 (Ec_cnf.Formula.num_vars f') in
+  (inst, a0, f', p)
+
+let bnb_capped =
+  { Ec_ilpsolver.Bnb.default_options with
+    node_limit = Some 500_000;
+    time_limit_s = Some 5.0 }
+
+(* One Bechamel group per table. *)
+let micro_tests () =
+  let inst, a0, f', p = micro_fixture () in
+  let open Bechamel in
+  let solve_with build =
+    Staged.stage (fun () ->
+        let enc = build () in
+        ignore (Ec_ilpsolver.Bnb.solve_decision ~options:bnb_capped (Ec_core.Encode.model enc)))
+  in
+  let t1 =
+    Test.make_grouped ~name:"table1"
+      [ Test.make ~name:"orig" (solve_with (fun () -> Ec_core.Encode.of_formula inst.formula));
+        Test.make ~name:"enable-sc"
+          (solve_with (fun () ->
+               let enc = Ec_core.Encode.of_formula inst.formula in
+               ignore (Ec_core.Enabling.add Ec_core.Enabling.Constraints enc);
+               enc));
+        Test.make ~name:"enable-of"
+          (solve_with (fun () ->
+               let enc = Ec_core.Encode.of_formula inst.formula in
+               ignore (Ec_core.Enabling.add (Ec_core.Enabling.Objective 1.0) enc);
+               enc)) ]
+  in
+  let t2 =
+    Test.make_grouped ~name:"table2"
+      [ Test.make ~name:"cone-extract"
+          (Staged.stage (fun () -> ignore (Ec_core.Fast_ec.simplify f' p)));
+        Test.make ~name:"cone-resolve"
+          (Staged.stage (fun () ->
+               ignore
+                 (Ec_core.Fast_ec.resolve
+                    ~backend:(Ec_core.Backend.Ilp_exact bnb_capped) f' p)));
+        Test.make ~name:"full-resolve"
+          (Staged.stage (fun () ->
+               ignore (Ec_core.Backend.solve (Ec_core.Backend.Ilp_exact bnb_capped) f'))) ]
+  in
+  let t3 =
+    Test.make_grouped ~name:"table3"
+      [ Test.make ~name:"preserve-ilp"
+          (Staged.stage (fun () ->
+               ignore
+                 (Ec_core.Preserving.resolve
+                    ~engine:(Ec_core.Preserving.Ilp_objective bnb_capped) f'
+                    ~reference:p)));
+        Test.make ~name:"preserve-cdcl-card"
+          (Staged.stage (fun () ->
+               ignore
+                 (Ec_core.Preserving.resolve
+                    ~engine:(Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options)
+                    f' ~reference:p)));
+        Test.make ~name:"plain-resolve"
+          (Staged.stage (fun () ->
+               ignore (Ec_core.Backend.solve (Ec_core.Backend.Ilp_exact bnb_capped) f'))) ]
+  in
+  ignore a0;
+  [ t1; t2; t3 ]
+
+let run_micro () =
+  section "Bechamel micro-benchmarks (one group per table)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:400 ~quota:(Time.second 1.5) ~kde:None () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+      List.iter
+        (fun name ->
+          let ols_result = Hashtbl.find results name in
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> e
+            | Some _ | None -> nan
+          in
+          Printf.printf "  %-32s %12.1f ns/run  (r²=%s)\n" name estimate
+            (match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.3f" r
+            | None -> "n/a"))
+        (List.sort compare names))
+    (micro_tests ());
+  print_newline ()
+
+(* ---------------- ablations ---------------- *)
+
+let time_runs n f =
+  (* median of n runs *)
+  let samples = List.init n (fun _ -> snd (Ec_util.Stopwatch.time f)) in
+  Ec_util.Stats.median samples
+
+let run_ablations args =
+  section "Ablations (DESIGN.md §6)";
+  let spec = Ec_instances.Registry.scale (min args.scale 0.15) (Ec_instances.Registry.find "jnh201") in
+  let inst = Ec_instances.Registry.build spec in
+  let enc () = Ec_core.Encode.of_formula inst.formula in
+
+  (* A1: greedy completion in B&B (optimization mode). *)
+  let t_on =
+    time_runs 3 (fun () ->
+        ignore (Ec_ilpsolver.Bnb.solve ~options:bnb_capped (Ec_core.Encode.model (enc ()))))
+  in
+  let t_off =
+    time_runs 3 (fun () ->
+        ignore
+          (Ec_ilpsolver.Bnb.solve
+             ~options:{ bnb_capped with greedy_completion = false }
+             (Ec_core.Encode.model (enc ()))))
+  in
+  Printf.printf "  A1 B&B greedy completion:      on %.4fs   off %.4fs   (x%.1f)\n" t_on
+    t_off (t_off /. t_on);
+
+  (* A2: LP bounding in B&B. *)
+  let t_lp =
+    time_runs 3 (fun () ->
+        ignore
+          (Ec_ilpsolver.Bnb.solve
+             ~options:{ bnb_capped with use_lp_bounding = true; lp_max_depth = 6 }
+             (Ec_core.Encode.model (enc ()))))
+  in
+  Printf.printf "  A2 B&B LP bounding:            off %.4fs  on %.4fs   (x%.1f)\n" t_on t_lp
+    (t_lp /. t_on);
+
+  (* A3: branching rule. *)
+  let t_first =
+    time_runs 3 (fun () ->
+        ignore
+          (Ec_ilpsolver.Bnb.solve
+             ~options:{ bnb_capped with branching = Ec_ilpsolver.Bnb.First_unfixed }
+             (Ec_core.Encode.model (enc ()))))
+  in
+  Printf.printf "  A3 B&B branching:              most-constrained %.4fs  first-unfixed %.4fs\n"
+    t_on t_first;
+
+  (* A4: CDCL phase saving as a cheap preserving mechanism. *)
+  let cfg = { Ec_harness.Protocol.default_config with scale = min args.scale 0.15 } in
+  (match Ec_harness.Protocol.initial_solve cfg inst with
+  | None -> print_endline "  A4 skipped (no initial solution)"
+  | Some (a0, _) ->
+    let rng = Ec_util.Rng.create 99 in
+    let script =
+      Ec_cnf.Change.preserving_ec_script rng inst.formula ~reference:a0 ~add_vars:5
+        ~del_vars:5 ~add_clauses:5 ~del_clauses:5 ~clause_width:3
+    in
+    let f' = Ec_cnf.Change.apply_script inst.formula script in
+    let reference = Ec_cnf.Assignment.extend a0 (Ec_cnf.Formula.num_vars f') in
+    let preserved label outcome =
+      match outcome with
+      | Ec_sat.Outcome.Sat a ->
+        Printf.printf "  A4 %-28s preserved %5.1f%%\n" label
+          (100.0 *. Ec_cnf.Assignment.preserved_fraction ~old_assignment:reference a)
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown ->
+        Printf.printf "  A4 %-28s failed\n" label
+    in
+    preserved "CDCL cold start:" (Ec_sat.Cdcl.solve_formula f');
+    preserved "CDCL phase-hint warm start:"
+      (Ec_sat.Cdcl.solve_formula
+         ~options:{ Ec_sat.Cdcl.default_options with phase_hint = Some reference }
+         f');
+    let r = Ec_core.Preserving.resolve f' ~reference in
+    Printf.printf "  A4 %-28s preserved %5.1f%% (optimal)\n" "preserving EC:"
+      (100.0 *. Ec_core.Preserving.preserved_fraction r);
+
+    (* A5: enabled vs plain initial solution -> fast-EC cone size,
+       on an instance large enough that cones do not saturate. *)
+    let a5_spec =
+      Ec_instances.Registry.scale (min args.scale 0.2) (Ec_instances.Registry.find "f600")
+    in
+    let a5_inst = Ec_instances.Registry.build a5_spec in
+    let cone enabled =
+      let cfg = { cfg with enabled_initial = enabled } in
+      let inst = a5_inst in
+      match Ec_harness.Protocol.initial_solve cfg inst with
+      | None -> nan
+      | Some (a, _) ->
+        let rng = Ec_util.Rng.create 4242 in
+        let sizes =
+          List.init 5 (fun _ ->
+              let script =
+                Ec_cnf.Change.fast_ec_script rng inst.formula ~eliminate:3 ~add:10
+                  ~clause_width:3
+              in
+              let f' = Ec_cnf.Change.apply_script inst.formula script in
+              let p = Ec_cnf.Assignment.extend a (Ec_cnf.Formula.num_vars f') in
+              let s = Ec_core.Fast_ec.simplify f' p in
+              float_of_int (List.length s.Ec_core.Fast_ec.vars))
+        in
+        Ec_util.Stats.mean sizes
+    in
+    Printf.printf "  A5 fast-EC cone (avg vars):    enabled init %.1f   plain init %.1f\n"
+      (cone true) (cone false);
+
+    (* A6: DC recovery. *)
+    let total = Ec_sat.Minimize.dc_gain inst.formula reference in
+    Printf.printf "  A6 DC recovery on the initial solution frees %d extra variables\n" total);
+
+  (* A7: the second application — EC on graph coloring (paper §8's
+     companion experiments).  Enabled vs plain allocations against a
+     stream of edge insertions, and preserving vs scratch recolor. *)
+  let rng = Ec_util.Rng.create 4007 in
+  (match Ec_coloring.Graph.random_planted rng ~num_nodes:60 ~colors:7 ~edges:160 with
+  | exception Invalid_argument _ -> print_endline "  A7 skipped (edge draw failed)"
+  | g0, _ ->
+    let opts = { bnb_capped with time_limit_s = Some 10.0 } in
+    let solve_alloc ~enabled g =
+      let enc = Ec_coloring.Encode_coloring.make g ~colors:7 in
+      if enabled then Ec_coloring.Ec_ops.add_enabling enc;
+      let s, _ = Ec_ilpsolver.Bnb.solve_decision ~options:opts (Ec_coloring.Encode_coloring.model enc) in
+      Ec_coloring.Encode_coloring.decode enc s
+    in
+    let run_stream alloc =
+      (* 15 random edge insertions; count repairs that stayed local *)
+      let rng = Ec_util.Rng.create 555 in
+      let g = ref g0 and alloc = ref alloc and local = ref 0 and cones = ref 0 in
+      for _ = 1 to 15 do
+        let u = 1 + Ec_util.Rng.int rng 60 and w = 1 + Ec_util.Rng.int rng 60 in
+        if u <> w then begin
+          g := Ec_coloring.Graph.add_edge !g u w;
+          let r = Ec_coloring.Ec_ops.fast_resolve ~options:opts !g ~colors:7 !alloc in
+          match r.Ec_coloring.Ec_ops.coloring with
+          | Some c ->
+            alloc := c;
+            if r.Ec_coloring.Ec_ops.cone_nodes = 0 then incr local else incr cones
+          | None -> ()
+        end
+      done;
+      (!local, !cones)
+    in
+    match (solve_alloc ~enabled:true g0, solve_alloc ~enabled:false g0) with
+    | Some enabled_alloc, Some plain_alloc ->
+      let l1, c1 = run_stream enabled_alloc in
+      let l2, c2 = run_stream plain_alloc in
+      Printf.printf
+        "  A7 coloring EC, 15 edge inserts: enabled init %d local/%d cone — plain init %d local/%d cone\n"
+        l1 c1 l2 c2
+    | _ -> print_endline "  A7 skipped (initial allocation failed)");
+
+  (* A8: incremental CDCL sessions vs fast-EC cones vs scratch solves
+     across a stream of clause additions. *)
+  let a8_spec =
+    Ec_instances.Registry.scale (min args.scale 0.25) (Ec_instances.Registry.find "jnh1")
+  in
+  let a8 = Ec_instances.Registry.build a8_spec in
+  (match Ec_sat.Cdcl.solve_formula a8.formula with
+  | Ec_sat.Outcome.Sat a0 ->
+    let rng = Ec_util.Rng.create 777 in
+    let additions =
+      List.init 25 (fun _ ->
+          Ec_cnf.Change.random_clause_satisfied_by rng a8.planted
+            ~num_vars:(Ec_cnf.Formula.num_vars a8.formula) ~width:3)
+    in
+    (* scratch: re-solve the growing formula every step *)
+    let (), t_scratch =
+      Ec_util.Stopwatch.time (fun () ->
+          let f = ref a8.formula in
+          List.iter
+            (fun c ->
+              f := Ec_cnf.Formula.add_clause !f c;
+              ignore (Ec_sat.Cdcl.solve_formula !f))
+            additions)
+    in
+    (* incremental session *)
+    let (), t_inc =
+      Ec_util.Stopwatch.time (fun () ->
+          let s = Ec_sat.Incremental.create a8.formula in
+          List.iter
+            (fun c ->
+              Ec_sat.Incremental.add_clause s c;
+              ignore (Ec_sat.Incremental.solve s))
+            additions)
+    in
+    (* fast-EC cones *)
+    let (), t_fast =
+      Ec_util.Stopwatch.time (fun () ->
+          let f = ref a8.formula and sol = ref a0 in
+          List.iter
+            (fun c ->
+              f := Ec_cnf.Formula.add_clause !f c;
+              let r = Ec_core.Fast_ec.resolve ~backend:Ec_core.Backend.cdcl !f !sol in
+              match r.Ec_core.Fast_ec.solution with
+              | Some s -> sol := s
+              | None -> ())
+            additions)
+    in
+    Printf.printf
+      "  A8 25 clause adds on %s: scratch %.4fs — incremental session %.4fs — fast-EC cones %.4fs\n"
+      a8_spec.name t_scratch t_inc t_fast
+  | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> print_endline "  A8 skipped");
+
+  (* A9: CNF preprocessing in front of CDCL. *)
+  let a9 = Ec_instances.Registry.build
+      (Ec_instances.Registry.scale (min args.scale 0.3) (Ec_instances.Registry.find "ii8b2"))
+  in
+  let t_plain =
+    time_runs 3 (fun () -> ignore (Ec_sat.Cdcl.solve_formula a9.formula))
+  in
+  let t_pre =
+    time_runs 3 (fun () -> ignore (Ec_sat.Preprocess.solve_with_preprocessing a9.formula))
+  in
+  (match Ec_sat.Preprocess.simplify a9.formula with
+  | `Simplified r ->
+    Printf.printf
+      "  A9 preprocessing on %s: %d->%d clauses (%d fixed, %d eliminated); cdcl %.4fs vs pre+cdcl %.4fs\n"
+      a9.spec.name
+      (Ec_cnf.Formula.num_clauses a9.formula)
+      (Ec_cnf.Formula.num_clauses r.Ec_sat.Preprocess.formula)
+      (List.length r.Ec_sat.Preprocess.fixed)
+      (List.length r.Ec_sat.Preprocess.eliminated)
+      t_plain t_pre
+  | `Unsat -> print_endline "  A9: generator produced unsat?!");
+  print_newline ()
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let args = parse_args () in
+  let config = config_of args in
+  Printf.printf
+    "ILP-based engineering change — bench harness (scale %.2f, %d trials%s)\n"
+    config.Ec_harness.Protocol.scale config.trials
+    (if args.paper then ", PAPER-SCALE RUN" else "");
+  if not args.skip_tables then run_tables args config;
+  if not args.skip_micro then run_micro ();
+  if not args.skip_ablations then run_ablations args

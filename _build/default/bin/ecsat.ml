@@ -1,0 +1,304 @@
+(* ecsat — command-line front end for the ILP-based engineering-change
+   library.
+
+     ecsat solve     file.cnf                 solve a DIMACS instance
+     ecsat enable    file.cnf                 solve with enabling EC
+     ecsat fast      file.cnf --add ...       apply changes, fast-EC re-solve
+     ecsat preserve  file.cnf --add ...       apply changes, preserving re-solve
+     ecsat gen       par8-1-c -o out.cnf      regenerate a benchmark instance
+     ecsat tables    --table 2 --scale 0.2    regenerate the paper's tables *)
+
+open Cmdliner
+
+(* ---- shared arguments ---- *)
+
+let cnf_file =
+  let doc = "DIMACS CNF input file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let backend_conv =
+  let parse = function
+    | "cdcl" -> Ok Ec_core.Backend.cdcl
+    | "dpll" -> Ok Ec_core.Backend.dpll
+    | "ilp" -> Ok Ec_core.Backend.ilp_exact
+    | "heuristic" -> Ok Ec_core.Backend.ilp_heuristic
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (cdcl|dpll|ilp|heuristic)" s))
+  in
+  let print fmt b = Format.pp_print_string fmt (Ec_core.Backend.name b) in
+  Arg.conv (parse, print)
+
+let backend =
+  let doc = "Solver backend: $(b,cdcl), $(b,dpll), $(b,ilp) or $(b,heuristic)." in
+  Arg.(value & opt backend_conv Ec_core.Backend.cdcl & info [ "backend"; "b" ] ~doc)
+
+let add_clauses_arg =
+  let doc =
+    "Engineering change: add a clause, given as comma-separated DIMACS literals \
+     (e.g. $(b,--add 1,-3,5)).  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "add" ] ~docv:"LITS" ~doc)
+
+let eliminate_arg =
+  let doc = "Engineering change: eliminate a variable.  Repeatable." in
+  Arg.(value & opt_all int [] & info [ "eliminate"; "e" ] ~docv:"VAR" ~doc)
+
+let parse_clause spec =
+  let lits =
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun s -> Ec_cnf.Lit.of_int (int_of_string (String.trim s)))
+  in
+  Ec_cnf.Clause.make lits
+
+let changes_of add eliminate =
+  List.map (fun v -> Ec_cnf.Change.Eliminate_var v) eliminate
+  @ List.map (fun spec -> Ec_cnf.Change.Add_clause (parse_clause spec)) add
+
+let load file = Ec_cnf.Dimacs.parse_file file
+
+let report_solution f = function
+  | None -> print_endline "s UNSATISFIABLE"; 20
+  | Some a ->
+    if not (Ec_cnf.Assignment.satisfies a f) then begin
+      print_endline "c INTERNAL ERROR: model does not satisfy";
+      1
+    end
+    else begin
+      print_endline "s SATISFIABLE";
+      print_endline (Ec_cnf.Dimacs.solution_to_string a);
+      Printf.printf "c don't-cares: %d of %d\n" (Ec_cnf.Assignment.dc_count a)
+        (Ec_cnf.Assignment.num_vars a);
+      0
+    end
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let run file backend =
+    let f = load file in
+    let a, t =
+      Ec_util.Stopwatch.time (fun () ->
+          match Ec_core.Backend.solve backend f with
+          | Ec_sat.Outcome.Sat a -> Some a
+          | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None)
+    in
+    Printf.printf "c backend=%s time=%.4fs\n" (Ec_core.Backend.name backend) t;
+    report_solution f a
+  in
+  let doc = "solve a DIMACS CNF instance" in
+  Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ cnf_file $ backend)
+
+(* ---- enable ---- *)
+
+let enable_cmd =
+  let run file objective_mode weight =
+    let f = load file in
+    let mode =
+      if objective_mode then Ec_core.Enabling.Objective weight
+      else Ec_core.Enabling.Constraints
+    in
+    match Ec_core.Flow.solve_initial ~enable:mode ~solver:Ec_core.Backend.ilp_exact f with
+    | None ->
+      print_endline "s UNSATISFIABLE (no enabled solution)";
+      20
+    | Some init ->
+      Printf.printf "c enabling mode=%s flexibility=%.3f time=%.4fs\n"
+        (if objective_mode then "objective" else "constraints")
+        init.flexibility init.solve_time_s;
+      report_solution f (Some init.assignment)
+  in
+  let objective_mode =
+    Arg.(value & flag
+         & info [ "objective"; "O" ]
+             ~doc:"Use the augmented-objective mode (EC (OF)) instead of hard constraints.")
+  in
+  let weight =
+    Arg.(value & opt float 1.0
+         & info [ "weight"; "w" ] ~doc:"Flexibility weight for the objective mode.")
+  in
+  let doc = "solve with enabling EC (paper \xc2\xa75)" in
+  Cmd.v (Cmd.info "enable" ~doc) Term.(const run $ cnf_file $ objective_mode $ weight)
+
+(* ---- fast / preserve ---- *)
+
+let with_initial file backend k =
+  let f = load file in
+  match Ec_core.Flow.solve_initial ~solver:backend f with
+  | None ->
+    print_endline "s UNSATISFIABLE (original instance)";
+    20
+  | Some init -> k f init
+
+let fast_cmd =
+  let run file backend add eliminate =
+    with_initial file backend (fun _f init ->
+        let script = changes_of add eliminate in
+        match Ec_core.Flow.apply_change ~strategy:Ec_core.Flow.Fast ~solver:backend init script with
+        | None ->
+          print_endline "s UNSATISFIABLE (modified instance)";
+          20
+        | Some u ->
+          (match u.sub_instance_size with
+          | Some (v, c) -> Printf.printf "c fast-EC cone: %d vars, %d clauses\n" v c
+          | None -> print_endline "c fast-EC fell back to a full re-solve");
+          Printf.printf "c preserved %.1f%% of the initial solution, %.4fs\n"
+            (100.0 *. u.preserved_fraction) u.resolve_time_s;
+          report_solution u.new_formula (Some u.new_assignment))
+  in
+  let doc = "apply changes and re-solve with fast EC (paper \xc2\xa76, Figure 2)" in
+  Cmd.v (Cmd.info "fast" ~doc)
+    Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg)
+
+let preserve_cmd =
+  let run file backend add eliminate use_sat =
+    with_initial file backend (fun _f init ->
+        let script = changes_of add eliminate in
+        let engine =
+          if use_sat then Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options
+          else Ec_core.Preserving.default_engine
+        in
+        match
+          Ec_core.Flow.apply_change ~strategy:(Ec_core.Flow.Preserve engine)
+            ~solver:backend init script
+        with
+        | None ->
+          print_endline "s UNSATISFIABLE (modified instance)";
+          20
+        | Some u ->
+          Printf.printf "c preserved %.1f%% of the initial solution, %.4fs\n"
+            (100.0 *. u.preserved_fraction) u.resolve_time_s;
+          report_solution u.new_formula (Some u.new_assignment))
+  in
+  let use_sat =
+    Arg.(value & flag
+         & info [ "sat-engine" ]
+             ~doc:"Use the CDCL+cardinality engine instead of the ILP objective.")
+  in
+  let doc = "apply changes and re-solve with preserving EC (paper \xc2\xa77)" in
+  Cmd.v (Cmd.info "preserve" ~doc)
+    Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ use_sat)
+
+(* ---- preprocess ---- *)
+
+let preprocess_cmd =
+  let run file output =
+    let f = load file in
+    match Ec_sat.Preprocess.simplify f with
+    | `Unsat ->
+      print_endline "c preprocessing proved unsatisfiability";
+      print_endline "s UNSATISFIABLE";
+      20
+    | `Simplified r ->
+      Printf.printf
+        "c %d -> %d clauses (%d removed, %d literals stripped, %d vars fixed, %d eliminated)\n"
+        (Ec_cnf.Formula.num_clauses f)
+        (Ec_cnf.Formula.num_clauses r.Ec_sat.Preprocess.formula)
+        r.Ec_sat.Preprocess.clauses_removed r.Ec_sat.Preprocess.literals_removed
+        (List.length r.Ec_sat.Preprocess.fixed)
+        (List.length r.Ec_sat.Preprocess.eliminated);
+      (match output with
+      | Some path ->
+        Ec_cnf.Dimacs.write_file ~comment:"simplified by ecsat preprocess" path
+          r.Ec_sat.Preprocess.formula;
+        Printf.printf "c wrote %s\n" path
+      | None -> ());
+      0
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the simplified formula to a file.")
+  in
+  let doc = "simplify a DIMACS instance (subsumption, elimination, ...)" in
+  Cmd.v (Cmd.info "preprocess" ~doc) Term.(const run $ cnf_file $ output)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let run instance_name scale output =
+    match Ec_instances.Registry.find instance_name with
+    | exception Not_found ->
+      Printf.eprintf "unknown instance %S; known: %s\n" instance_name
+        (String.concat ", "
+           (List.map
+              (fun s -> s.Ec_instances.Registry.name)
+              Ec_instances.Registry.paper_suite));
+      1
+    | spec ->
+      let spec = Ec_instances.Registry.scale scale spec in
+      let inst = Ec_instances.Registry.build spec in
+      let comment =
+        Printf.sprintf "%s (regenerated, scale %.2f) — see DESIGN.md" spec.name scale
+      in
+      (match output with
+      | Some path ->
+        Ec_cnf.Dimacs.write_file ~comment path inst.formula;
+        Printf.printf "wrote %s: %d vars, %d clauses\n" path
+          (Ec_cnf.Formula.num_vars inst.formula)
+          (Ec_cnf.Formula.num_clauses inst.formula)
+      | None -> print_string (Ec_cnf.Dimacs.to_string ~comment inst.formula));
+      0
+  in
+  let instance_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+         ~doc:"Instance name from the paper's suite (e.g. $(b,par8-1-c)).")
+  in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Shrink factor (1.0 = paper size).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write to a file instead of stdout.")
+  in
+  let doc = "regenerate a benchmark instance as DIMACS" in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ instance_name $ scale $ output)
+
+(* ---- tables ---- *)
+
+let tables_cmd =
+  let run table scale trials no_large paper =
+    let config =
+      if paper then Ec_harness.Protocol.paper_config
+      else
+        { Ec_harness.Protocol.default_config with
+          scale;
+          trials;
+          include_large = not no_large }
+    in
+    let progress s = Printf.eprintf "[%s]\n%!" s in
+    let run_one = function
+      | 1 -> print_endline (Ec_harness.Table1.render (Ec_harness.Table1.run ~progress config))
+      | 2 -> print_endline (Ec_harness.Table2.render (Ec_harness.Table2.run ~progress config))
+      | 3 -> print_endline (Ec_harness.Table3.render (Ec_harness.Table3.run ~progress config))
+      | n -> Printf.eprintf "no table %d (1..3)\n" n
+    in
+    (match table with Some n -> run_one n | None -> List.iter run_one [ 1; 2; 3 ]);
+    0
+  in
+  let table =
+    Arg.(value & opt (some int) None & info [ "table"; "t" ] ~docv:"N"
+         ~doc:"Run only table $(docv) (1, 2 or 3); default all.")
+  in
+  let scale =
+    Arg.(value & opt float Ec_harness.Protocol.default_config.scale
+         & info [ "scale" ] ~doc:"Instance shrink factor (1.0 = paper sizes).")
+  in
+  let trials =
+    Arg.(value & opt int Ec_harness.Protocol.default_config.trials
+         & info [ "trials" ] ~doc:"Trials per instance for Tables 2/3.")
+  in
+  let no_large =
+    Arg.(value & flag & info [ "no-large" ] ~doc:"Skip the heuristic-tier instances.")
+  in
+  let paper =
+    Arg.(value & flag
+         & info [ "paper" ]
+             ~doc:"Full paper-scale run: scale 1.0, no solve caps.  Takes hours.")
+  in
+  let doc = "regenerate the paper's result tables" in
+  Cmd.v (Cmd.info "tables" ~doc)
+    Term.(const run $ table $ scale $ trials $ no_large $ paper)
+
+let () =
+  let doc = "ILP-based engineering change on SAT (DAC 2002 reproduction)" in
+  let info = Cmd.info "ecsat" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ solve_cmd; enable_cmd; fast_cmd; preserve_cmd; preprocess_cmd; gen_cmd; tables_cmd ]))

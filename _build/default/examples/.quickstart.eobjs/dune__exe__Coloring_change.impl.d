@@ -1,0 +1,1 @@
+examples/coloring_change.ml: Array Ec_coloring Ec_ilpsolver Ec_util List Printf

@@ -1,0 +1,1 @@
+examples/coloring_change.mli:

@@ -1,0 +1,1 @@
+examples/flow_demo.ml: Ec_cnf Ec_core Ec_instances Ec_util List Option Printf

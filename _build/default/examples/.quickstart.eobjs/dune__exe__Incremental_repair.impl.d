@@ -1,0 +1,1 @@
+examples/incremental_repair.ml: Ec_cnf Ec_core Ec_ilpsolver Ec_instances Ec_util Printf

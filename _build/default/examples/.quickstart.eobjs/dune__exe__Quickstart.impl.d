@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ec_cnf Ec_core Ec_ilp Ec_ilpsolver List Option Printf

@@ -1,0 +1,1 @@
+examples/synthesis_preserve.ml: Ec_cnf Ec_core Ec_instances Ec_sat Ec_util List Printf

@@ -1,0 +1,1 @@
+lib/cnf/assignment.ml: Array Clause Formula List Lit Printf String

@@ -1,0 +1,1 @@
+lib/cnf/assignment.mli: Clause Formula Lit

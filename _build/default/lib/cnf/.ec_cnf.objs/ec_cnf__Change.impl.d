@@ -1,0 +1,1 @@
+lib/cnf/change.ml: Array Assignment Clause Ec_util Formula Ksat List Lit Printf

@@ -1,0 +1,1 @@
+lib/cnf/change.mli: Assignment Clause Ec_util Formula

@@ -1,0 +1,1 @@
+lib/cnf/clause.ml: Array List Lit Stdlib String

@@ -1,0 +1,1 @@
+lib/cnf/formula.ml: Array Clause Hashtbl Int List Lit Printf String

@@ -1,0 +1,1 @@
+lib/cnf/ksat.ml: Assignment Clause Formula List Lit

@@ -1,0 +1,1 @@
+lib/cnf/ksat.mli: Assignment Clause Formula

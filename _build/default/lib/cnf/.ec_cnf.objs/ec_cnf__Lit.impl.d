@@ -1,0 +1,1 @@
+lib/cnf/lit.ml: Int Printf

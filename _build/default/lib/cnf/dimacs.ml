@@ -1,0 +1,100 @@
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+type state = {
+  mutable num_vars : int;
+  mutable expected_clauses : int;
+  mutable header_seen : bool;
+  mutable pending : Lit.t list; (* literals of the clause being read *)
+  mutable clauses_rev : Clause.t list;
+  mutable finished : bool;
+}
+
+let process_token st line tok =
+  match int_of_string_opt tok with
+  | None -> fail line (Printf.sprintf "expected integer, got %S" tok)
+  | Some 0 ->
+    (match Clause.make_opt (List.rev st.pending) with
+    | Some c -> st.clauses_rev <- c :: st.clauses_rev
+    | None -> () (* tautology: constrains nothing, drop *));
+    st.pending <- []
+  | Some i ->
+    if not st.header_seen then fail line "literal before p-line";
+    if abs i > st.num_vars then
+      fail line (Printf.sprintf "literal %d exceeds declared %d variables" i st.num_vars);
+    st.pending <- Lit.of_int i :: st.pending
+
+let process_line st lineno line =
+  let line = String.trim line in
+  if st.finished || line = "" then ()
+  else
+    match line.[0] with
+    | 'c' | 'C' -> ()
+    | '%' -> st.finished <- true
+    | 'p' ->
+      if st.header_seen then fail lineno "duplicate p-line";
+      (match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "p"; "cnf"; nv; nc ] ->
+        (match (int_of_string_opt nv, int_of_string_opt nc) with
+        | Some nv, Some nc when nv >= 0 && nc >= 0 ->
+          st.num_vars <- nv;
+          st.expected_clauses <- nc;
+          st.header_seen <- true
+        | _ -> fail lineno "malformed p-line counts")
+      | _ -> fail lineno "malformed p-line (expected 'p cnf <vars> <clauses>')")
+    | '0' .. '9' | '-' ->
+      let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+      List.iter (process_token st lineno) tokens
+    | _ -> fail lineno (Printf.sprintf "unexpected line %S" line)
+
+let parse_lines lines =
+  let st =
+    { num_vars = 0; expected_clauses = 0; header_seen = false; pending = [];
+      clauses_rev = []; finished = false }
+  in
+  List.iteri (fun i line -> process_line st (i + 1) line) lines;
+  if not st.header_seen then raise (Parse_error "missing p-line");
+  if st.pending <> [] then raise (Parse_error "unterminated clause at end of input");
+  Formula.create ~num_vars:st.num_vars (List.rev st.clauses_rev)
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let parse_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  parse_lines (List.rev !lines)
+
+let to_string ?comment f =
+  let buf = Buffer.create 1024 in
+  (match comment with
+  | None -> ()
+  | Some c ->
+    String.split_on_char '\n' c
+    |> List.iter (fun line -> Buffer.add_string buf ("c " ^ line ^ "\n")));
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Formula.num_vars f) (Formula.num_clauses f));
+  Formula.iteri (fun _ c -> Buffer.add_string buf (Clause.to_dimacs c ^ "\n")) f;
+  Buffer.contents buf
+
+let write_file ?comment path f =
+  let oc = open_out path in
+  output_string oc (to_string ?comment f);
+  close_out oc
+
+let solution_to_string a =
+  let lits =
+    List.filter_map
+      (fun (v, value) ->
+        match (value : Assignment.value) with
+        | Assignment.True -> Some (string_of_int v)
+        | Assignment.False -> Some (string_of_int (-v))
+        | Assignment.Dc -> None)
+      (Assignment.to_list a)
+  in
+  "v " ^ String.concat " " (lits @ [ "0" ])

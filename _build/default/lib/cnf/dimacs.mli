@@ -1,0 +1,25 @@
+(** DIMACS CNF reader/writer.
+
+    The standard exchange format of the benchmark families the paper
+    evaluates on.  The parser accepts comments ([c ...]), the
+    [p cnf vars clauses] header, multi-line clauses, and the optional
+    [%]-terminated trailer some DIMACS archives carry. *)
+
+exception Parse_error of string
+(** Carries a human-readable message with a line number. *)
+
+val parse_string : string -> Formula.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Formula.t
+(** @raise Parse_error on malformed input.
+    @raise Sys_error if the file cannot be read. *)
+
+val to_string : ?comment:string -> Formula.t -> string
+(** Render with a [p cnf] header; [comment] lines are prefixed with
+    [c ]. *)
+
+val write_file : ?comment:string -> string -> Formula.t -> unit
+
+val solution_to_string : Assignment.t -> string
+(** SAT-competition style ["v ..."] lines; DC variables are omitted. *)

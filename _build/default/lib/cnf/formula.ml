@@ -1,0 +1,107 @@
+type occ_index = (Lit.t, int list) Hashtbl.t
+
+type t = {
+  num_vars : int;
+  clauses : Clause.t array;
+  mutable occ : occ_index option; (* lazy cache; reverse-ordered lists *)
+}
+
+let validate num_vars clauses =
+  if num_vars < 0 then invalid_arg "Formula.create: negative num_vars";
+  List.iter
+    (fun c ->
+      if Clause.max_var c > num_vars then
+        invalid_arg
+          (Printf.sprintf "Formula.create: clause %s mentions variable above %d"
+             (Clause.to_string c) num_vars))
+    clauses
+
+let create ~num_vars clauses =
+  validate num_vars clauses;
+  { num_vars; clauses = Array.of_list clauses; occ = None }
+
+let of_lists ~num_vars lit_lists =
+  let clauses = List.filter_map Clause.make_opt lit_lists in
+  create ~num_vars clauses
+
+let num_vars t = t.num_vars
+
+let num_clauses t = Array.length t.clauses
+
+let clause t i =
+  if i < 0 || i >= Array.length t.clauses then invalid_arg "Formula.clause: index";
+  t.clauses.(i)
+
+let clauses t = t.clauses
+
+let iteri f t = Array.iteri f t.clauses
+
+let fold f acc t = Array.fold_left f acc t.clauses
+
+let has_empty_clause t = Array.exists Clause.is_empty t.clauses
+
+let build_occ t =
+  let occ : occ_index = Hashtbl.create (2 * t.num_vars + 1) in
+  Array.iteri
+    (fun i c ->
+      Clause.iter
+        (fun l ->
+          let prev = try Hashtbl.find occ l with Not_found -> [] in
+          Hashtbl.replace occ l (i :: prev))
+        c)
+    t.clauses;
+  occ
+
+let occ_index t =
+  match t.occ with
+  | Some occ -> occ
+  | None ->
+    let occ = build_occ t in
+    t.occ <- Some occ;
+    occ
+
+let occurrences t l =
+  let occ = occ_index t in
+  List.rev (try Hashtbl.find occ l with Not_found -> [])
+
+let var_occurrences t v =
+  let pos = occurrences t v and neg = occurrences t (-v) in
+  List.sort_uniq Int.compare (pos @ neg)
+
+let add_clauses t cs =
+  let max_new = List.fold_left (fun m c -> max m (Clause.max_var c)) t.num_vars cs in
+  { num_vars = max_new;
+    clauses = Array.append t.clauses (Array.of_list cs);
+    occ = None }
+
+let add_clause t c = add_clauses t [ c ]
+
+let remove_clause t i =
+  let n = Array.length t.clauses in
+  if i < 0 || i >= n then invalid_arg "Formula.remove_clause: index";
+  let clauses =
+    Array.init (n - 1) (fun j -> if j < i then t.clauses.(j) else t.clauses.(j + 1))
+  in
+  { num_vars = t.num_vars; clauses; occ = None }
+
+let add_var t = { t with num_vars = t.num_vars + 1; occ = None }
+
+let eliminate_var t v =
+  if v < 1 || v > t.num_vars then invalid_arg "Formula.eliminate_var: variable";
+  { num_vars = t.num_vars;
+    clauses = Array.map (Clause.remove_var v) t.clauses;
+    occ = None }
+
+let vars_used t =
+  let seen = Hashtbl.create (t.num_vars + 1) in
+  Array.iter (fun c -> Clause.iter (fun l -> Hashtbl.replace seen (Lit.var l) ()) c) t.clauses;
+  List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])
+
+let equal a b =
+  a.num_vars = b.num_vars
+  && Array.length a.clauses = Array.length b.clauses
+  && Array.for_all2 Clause.equal a.clauses b.clauses
+
+let to_string t =
+  if Array.length t.clauses = 0 then "(true)"
+  else String.concat "" (List.map Clause.to_string (Array.to_list t.clauses))

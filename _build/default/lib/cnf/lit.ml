@@ -1,0 +1,25 @@
+type t = int
+
+let make v positive =
+  if v < 1 then invalid_arg "Lit.make: variable must be >= 1";
+  if positive then v else -v
+
+let of_int i =
+  if i = 0 then invalid_arg "Lit.of_int: 0 is not a literal";
+  i
+
+let var l = abs l
+
+let is_positive l = l > 0
+
+let negate l = -l
+
+let compare a b =
+  let c = Int.compare (abs a) (abs b) in
+  if c <> 0 then c else Int.compare b a (* positive (larger) first *)
+
+let equal (a : t) b = a = b
+
+let to_string l = if l > 0 then Printf.sprintf "v%d" l else Printf.sprintf "~v%d" (-l)
+
+let to_dimacs = string_of_int

@@ -1,0 +1,34 @@
+(** Propositional literals in DIMACS convention.
+
+    A literal is a non-zero integer: [+v] is the positive phase of
+    variable [v >= 1], [-v] the negative phase.  This is the exchange
+    representation used by formulas, the encoders and the harness; the
+    CDCL solver maps it to a dense internal encoding. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v positive] is the literal of variable [v] with the given
+    polarity.
+    @raise Invalid_argument if [v < 1]. *)
+
+val of_int : int -> t
+(** Validate a raw DIMACS integer.
+    @raise Invalid_argument on 0. *)
+
+val var : t -> int
+(** The underlying variable, always [>= 1]. *)
+
+val is_positive : t -> bool
+
+val negate : t -> t
+
+val compare : t -> t -> int
+(** Orders by variable first, positive phase before negative. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["v3"] / ["~v3"] — the paper's notation. *)
+
+val to_dimacs : t -> string

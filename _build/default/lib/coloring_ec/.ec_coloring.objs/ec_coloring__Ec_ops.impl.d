@@ -1,0 +1,1 @@
+lib/coloring_ec/ec_ops.ml: Array Ec_ilp Ec_ilpsolver Encode_coloring Graph Int List Printf

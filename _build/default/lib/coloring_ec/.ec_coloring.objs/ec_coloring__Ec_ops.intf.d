@@ -1,0 +1,1 @@
+lib/coloring_ec/ec_ops.mli: Ec_ilpsolver Encode_coloring Graph

@@ -1,0 +1,1 @@
+lib/coloring_ec/encode_coloring.ml: Array Ec_ilp Graph List Printf

@@ -1,0 +1,1 @@
+lib/coloring_ec/encode_coloring.mli: Ec_ilp Graph

@@ -1,0 +1,1 @@
+lib/coloring_ec/graph.ml: Array Ec_util Hashtbl Int List Printf Set

@@ -1,0 +1,1 @@
+lib/coloring_ec/graph.mli: Ec_util

@@ -1,0 +1,69 @@
+(** The three EC techniques instantiated for graph coloring.
+
+    The coloring analogue of the SAT constructions:
+
+    - {b enabling}: every node must have a {e spare} color — one it
+      does not wear that no neighbour wears either — so a future edge
+      insertion at that node is absorbed by a local recolor (this is
+      the constraint-manipulation idea of Kirovski–Potkonjak [5],
+      rebuilt inside the generic ILP framework);
+    - {b fast}: after a change, collect the conflicted nodes, try a
+      one-node local recolor per conflict, and only fall back to an
+      ILP re-solve of the conflict cone (conflicted nodes and their
+      neighbourhoods) when the local repair fails;
+    - {b preserving}: re-solve maximizing the number of nodes keeping
+      their old color (paper §7 transplanted). *)
+
+type change =
+  | Add_edge of int * int
+  | Remove_edge of int * int
+  | Add_node
+
+val apply_change : Graph.t -> change -> Graph.t
+
+val change_to_string : change -> string
+
+(* -- enabling -- *)
+
+val add_enabling : Encode_coloring.t -> unit
+(** Post the spare-color rows on the encoding's model: per node, a
+    binary [s(node,color)] with [s <= 1 - x(node,color)] and
+    [s <= 1 - x(w,color)] for every neighbour [w], and
+    [Σ_color s(node,color) >= 1]. *)
+
+val spare_colors : Graph.t -> colors:int -> int array -> int -> int list
+(** Colors the node does not wear and no neighbour wears — the
+    verifiable meaning of the enabling rows. *)
+
+val enabled : Graph.t -> colors:int -> int array -> bool
+(** Every node has at least one spare color. *)
+
+(* -- fast -- *)
+
+type fast_result = {
+  coloring : int array option;
+  conflicted : int list;   (** nodes in conflict after the change *)
+  locally_repaired : int;  (** conflicts fixed by one-node recolors *)
+  cone_nodes : int;        (** nodes handed to the ILP fallback (0 if none) *)
+}
+
+val fast_resolve :
+  ?options:Ec_ilpsolver.Bnb.options ->
+  Graph.t -> colors:int -> int array -> fast_result
+(** Repair an old coloring against a changed graph. *)
+
+(* -- preserving -- *)
+
+type preserve_result = {
+  coloring : int array option;
+  preserved : int;
+  total : int;
+  optimal : bool;
+}
+
+val preserving_resolve :
+  ?options:Ec_ilpsolver.Bnb.options ->
+  ?pins:int list ->
+  Graph.t -> colors:int -> reference:int array -> preserve_result
+(** Re-color maximizing agreement with [reference]; [pins] lists nodes
+    whose old color is a hard requirement. *)

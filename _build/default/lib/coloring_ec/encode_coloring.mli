@@ -1,0 +1,35 @@
+(** Graph k-coloring as 0-1 ILP (the paper's second application).
+
+    One binary variable per (node, color) pair.  Constraints:
+
+    - cover: every node takes at least one color;
+    - conflict: adjacent nodes never share a color.
+
+    As in the SAT encoding, "at least one" plus a minimize-selected
+    objective lets a node hold several legal colors or exactly one —
+    extra colors are the coloring analogue of don't-cares, and the
+    enabling machinery builds on them. *)
+
+type t
+
+val make : Graph.t -> colors:int -> t
+(** @raise Invalid_argument if [colors < 1]. *)
+
+val graph : t -> Graph.t
+
+val colors : t -> int
+
+val model : t -> Ec_ilp.Model.t
+
+val var : t -> node:int -> color:int -> int
+(** ILP id of "node wears color".
+    @raise Invalid_argument out of range. *)
+
+val coloring_of_point : t -> float array -> int array
+(** Decode: each node's lowest selected color (0 when none — only
+    possible for infeasible points). *)
+
+val point_of_coloring : t -> int array -> float array
+(** Encode a coloring (color_of.(node), 0 = uncolored). *)
+
+val decode : t -> Ec_ilp.Solution.t -> int array option

@@ -1,0 +1,121 @@
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  num_nodes : int;
+  edge_set : Edge_set.t;
+  adj : int list array; (* 1-based; ascending neighbor lists *)
+}
+
+let norm u w = (min u w, max u w)
+
+let build num_nodes edge_set =
+  let adj = Array.make (num_nodes + 1) [] in
+  Edge_set.iter
+    (fun (u, w) ->
+      adj.(u) <- w :: adj.(u);
+      adj.(w) <- u :: adj.(w))
+    edge_set;
+  Array.iteri (fun i l -> adj.(i) <- List.sort Int.compare l) adj;
+  { num_nodes; edge_set; adj }
+
+let check t v =
+  if v < 1 || v > t.num_nodes then
+    invalid_arg (Printf.sprintf "Graph: node %d out of range [1,%d]" v t.num_nodes)
+
+let create ~num_nodes edges =
+  if num_nodes < 0 then invalid_arg "Graph.create: negative node count";
+  let edge_set =
+    List.fold_left
+      (fun acc (u, w) ->
+        if u = w then invalid_arg "Graph.create: self-loop";
+        if u < 1 || u > num_nodes || w < 1 || w > num_nodes then
+          invalid_arg "Graph.create: endpoint out of range";
+        Edge_set.add (norm u w) acc)
+      Edge_set.empty edges
+  in
+  build num_nodes edge_set
+
+let num_nodes t = t.num_nodes
+
+let num_edges t = Edge_set.cardinal t.edge_set
+
+let edges t = Edge_set.elements t.edge_set
+
+let neighbors t v =
+  check t v;
+  t.adj.(v)
+
+let adjacent t u w = Edge_set.mem (norm u w) t.edge_set
+
+let degree t v = List.length (neighbors t v)
+
+let max_degree t =
+  let d = ref 0 in
+  for v = 1 to t.num_nodes do
+    d := max !d (degree t v)
+  done;
+  !d
+
+let add_edge t u w =
+  check t u;
+  check t w;
+  if u = w then invalid_arg "Graph.add_edge: self-loop";
+  let e = norm u w in
+  if Edge_set.mem e t.edge_set then t else build t.num_nodes (Edge_set.add e t.edge_set)
+
+let remove_edge t u w =
+  let e = norm u w in
+  if Edge_set.mem e t.edge_set then build t.num_nodes (Edge_set.remove e t.edge_set)
+  else t
+
+let add_node t = build (t.num_nodes + 1) t.edge_set
+
+let remove_node t v =
+  check t v;
+  build t.num_nodes
+    (Edge_set.filter (fun (u, w) -> u <> v && w <> v) t.edge_set)
+
+let random_planted rng ~num_nodes ~colors ~edges =
+  if colors < 2 then invalid_arg "Graph.random_planted: need >= 2 colors";
+  let color_of = Array.init (num_nodes + 1) (fun _ -> 1 + Ec_util.Rng.int rng colors) in
+  let seen = Hashtbl.create (2 * edges) in
+  let rec draw acc remaining guard =
+    if remaining = 0 then acc
+    else if guard > 1000 * (edges + 10) then
+      invalid_arg "Graph.random_planted: cannot place that many edges"
+    else begin
+      let u = 1 + Ec_util.Rng.int rng num_nodes in
+      let w = 1 + Ec_util.Rng.int rng num_nodes in
+      let u, w = norm u w in
+      if u = w || color_of.(u) = color_of.(w) || Hashtbl.mem seen (u, w) then
+        draw acc remaining (guard + 1)
+      else begin
+        Hashtbl.add seen (u, w) ();
+        draw ((u, w) :: acc) (remaining - 1) (guard + 1)
+      end
+    end
+  in
+  let edge_list = draw [] edges 0 in
+  (create ~num_nodes edge_list, color_of)
+
+let greedy_coloring t =
+  let color_of = Array.make (t.num_nodes + 1) 0 in
+  for v = 1 to t.num_nodes do
+    let used = List.filter_map (fun w -> if color_of.(w) > 0 then Some color_of.(w) else None) (neighbors t v) in
+    let rec first c = if List.mem c used then first (c + 1) else c in
+    color_of.(v) <- first 1
+  done;
+  color_of
+
+let proper t color_of =
+  Array.length color_of = t.num_nodes + 1
+  && (let ok = ref true in
+      for v = 1 to t.num_nodes do
+        if color_of.(v) < 1 then ok := false
+      done;
+      !ok)
+  && Edge_set.for_all (fun (u, w) -> color_of.(u) <> color_of.(w)) t.edge_set

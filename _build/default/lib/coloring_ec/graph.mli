@@ -1,0 +1,56 @@
+(** Undirected simple graphs for the coloring application.
+
+    The paper's §8 reports that the generic EC methodology was also
+    exercised on graph coloring (its companion report [6]); this
+    library rebuilds that application.  Nodes are numbered
+    [1 .. num_nodes]. *)
+
+type t
+
+val create : num_nodes:int -> (int * int) list -> t
+(** Build from an edge list.  Self-loops are rejected; duplicate edges
+    are collapsed.
+    @raise Invalid_argument on out-of-range endpoints or self-loops. *)
+
+val num_nodes : t -> int
+
+val num_edges : t -> int
+
+val edges : t -> (int * int) list
+(** Normalized (low, high) pairs, ascending. *)
+
+val neighbors : t -> int -> int list
+(** Ascending; @raise Invalid_argument out of range. *)
+
+val adjacent : t -> int -> int -> bool
+
+val degree : t -> int -> int
+
+val max_degree : t -> int
+
+val add_edge : t -> int -> int -> t
+(** Functional update; adding an existing edge is the identity. *)
+
+val remove_edge : t -> int -> int -> t
+
+val add_node : t -> t
+(** One fresh isolated node. *)
+
+val remove_node : t -> int -> t
+(** Deletes the node's edges; the node id remains (isolated), keeping
+    node numbering stable across engineering changes. *)
+
+val random_planted :
+  Ec_util.Rng.t -> num_nodes:int -> colors:int -> edges:int -> t * int array
+(** A random graph with a planted proper [colors]-coloring
+    (color_of.(node), 1-based; index 0 unused).  Edges are drawn only
+    between differently-colored nodes.
+    @raise Invalid_argument if that many edges cannot be placed. *)
+
+val greedy_coloring : t -> int array
+(** First-fit coloring in node order; a correctness oracle and upper
+    bound for tests. *)
+
+val proper : t -> int array -> bool
+(** Is the assignment a proper coloring (positive colors on every
+    node, distinct across each edge)? *)

@@ -1,0 +1,1 @@
+lib/core/backend.ml: Cnfize Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat Encode

@@ -1,0 +1,1 @@
+lib/core/backend.mli: Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat

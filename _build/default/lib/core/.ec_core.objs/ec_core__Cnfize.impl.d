@@ -1,0 +1,1 @@
+lib/core/cnfize.ml: Array Ec_cnf Ec_ilpsolver Ec_sat List Printf

@@ -1,0 +1,1 @@
+lib/core/cnfize.mli: Ec_cnf Ec_ilp

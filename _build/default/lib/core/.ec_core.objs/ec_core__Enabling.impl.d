@@ -1,0 +1,1 @@
+lib/core/enabling.ml: Ec_cnf Ec_ilp Encode List Printf

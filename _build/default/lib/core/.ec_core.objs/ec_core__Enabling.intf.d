@@ -1,0 +1,1 @@
+lib/core/enabling.mli: Ec_cnf Encode

@@ -1,0 +1,1 @@
+lib/core/encode.ml: Array Ec_cnf Ec_ilp List Printf

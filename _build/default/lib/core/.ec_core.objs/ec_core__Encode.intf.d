@@ -1,0 +1,1 @@
+lib/core/encode.mli: Ec_cnf Ec_ilp

@@ -1,0 +1,1 @@
+lib/core/fast_ec.mli: Backend Ec_cnf

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Backend Ec_cnf Ec_sat Ec_util Enabling Encode Fast_ec Preserving

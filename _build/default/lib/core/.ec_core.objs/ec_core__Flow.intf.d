@@ -1,0 +1,1 @@
+lib/core/flow.mli: Backend Ec_cnf Enabling Preserving

@@ -1,0 +1,1 @@
+lib/core/preserving.ml: Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat Encode Hashtbl List Printf

@@ -1,0 +1,75 @@
+type t =
+  | Ilp_exact of Ec_ilpsolver.Bnb.options
+  | Ilp_heuristic of Ec_ilpsolver.Heuristic.options
+  | Cdcl of Ec_sat.Cdcl.options
+  | Dpll of Ec_sat.Dpll.options
+
+let ilp_exact = Ilp_exact Ec_ilpsolver.Bnb.default_options
+
+let ilp_heuristic =
+  Ilp_heuristic { Ec_ilpsolver.Heuristic.default_options with stop_at_first_feasible = true }
+
+let cdcl = Cdcl Ec_sat.Cdcl.default_options
+
+let dpll = Dpll Ec_sat.Dpll.default_options
+
+let name = function
+  | Ilp_exact _ -> "ilp-bnb"
+  | Ilp_heuristic _ -> "ilp-heuristic"
+  | Cdcl _ -> "cdcl"
+  | Dpll _ -> "dpll"
+
+let with_phase_hint t hint =
+  match t with
+  | Cdcl options -> Cdcl { options with phase_hint = Some hint }
+  | Ilp_exact _ | Ilp_heuristic _ | Dpll _ -> t
+
+let maybe_recover recover_dc formula outcome =
+  match outcome with
+  | Ec_sat.Outcome.Sat a when recover_dc ->
+    Ec_sat.Outcome.Sat (Ec_sat.Minimize.recover_dc formula a)
+  | Ec_sat.Outcome.Sat _ | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> outcome
+
+let solve ?(recover_dc = true) t formula =
+  if Ec_cnf.Formula.has_empty_clause formula then Ec_sat.Outcome.Unsat
+  else
+    match t with
+    | Cdcl options ->
+      maybe_recover recover_dc formula (Ec_sat.Cdcl.solve_formula ~options formula)
+    | Dpll options ->
+      maybe_recover recover_dc formula (Ec_sat.Dpll.solve ~options formula)
+    | Ilp_exact options -> (
+      let enc = Encode.of_formula formula in
+      let solution, _ = Ec_ilpsolver.Bnb.solve_decision ~options (Encode.model enc) in
+      match solution.Ec_ilp.Solution.status with
+      | Ec_ilp.Solution.Optimal | Ec_ilp.Solution.Feasible -> (
+        match Encode.decode enc solution with
+        | Some a -> Ec_sat.Outcome.Sat a
+        | None -> Ec_sat.Outcome.Unknown)
+      | Ec_ilp.Solution.Infeasible -> Ec_sat.Outcome.Unsat
+      | Ec_ilp.Solution.Unbounded | Ec_ilp.Solution.Unknown -> Ec_sat.Outcome.Unknown)
+    | Ilp_heuristic options -> (
+      let enc = Encode.of_formula formula in
+      let solution, _ = Ec_ilpsolver.Heuristic.solve ~options (Encode.model enc) in
+      match Encode.decode enc solution with
+      | Some a -> Ec_sat.Outcome.Sat a
+      | None -> Ec_sat.Outcome.Unknown)
+
+let solve_model t model =
+  match t with
+  | Ilp_exact options -> fst (Ec_ilpsolver.Bnb.solve ~options model)
+  | Ilp_heuristic options -> fst (Ec_ilpsolver.Heuristic.solve ~options model)
+  | Cdcl options -> (
+    (* Clause-like models (every encoding in this project) translate
+       exactly to CNF; general rows fall back to branch & bound. *)
+    match Cnfize.of_model model with
+    | exception Cnfize.Unsupported _ -> fst (Ec_ilpsolver.Bnb.solve model)
+    | cnf -> (
+      match Ec_sat.Cdcl.solve_formula ~options cnf.Cnfize.formula with
+      | Ec_sat.Outcome.Sat a ->
+        let values = Cnfize.point_of_assignment cnf a in
+        let objective = Ec_ilp.Validate.objective_value model values in
+        { Ec_ilp.Solution.status = Ec_ilp.Solution.Feasible; values; objective }
+      | Ec_sat.Outcome.Unsat -> Ec_ilp.Solution.infeasible
+      | Ec_sat.Outcome.Unknown -> Ec_ilp.Solution.unknown))
+  | Dpll _ -> fst (Ec_ilpsolver.Bnb.solve model)

@@ -1,0 +1,50 @@
+(** Solver backends for SAT instances inside the EC flow.
+
+    The paper's Figure 1 lets either "a standard ILP solver" or "the
+    heuristic iterative improvement-based ILP solver" produce
+    solutions.  This module is that choice point, with the two modern
+    SAT engines added for scale and cross-checking:
+
+    - [Ilp_exact]     — set-cover encode, branch & bound (CPLEX's role);
+    - [Ilp_heuristic] — set-cover encode, min-conflicts local search;
+    - [Cdcl]          — clause-learning SAT solver on the CNF directly;
+    - [Dpll]          — reference solver (small instances only).
+
+    All backends return DC-aware assignments: the ILP paths because the
+    set-cover objective leaves phases unselected, the SAT paths through
+    an explicit {!Ec_sat.Minimize.recover_dc} pass (controlled by
+    [~recover_dc]). *)
+
+type t =
+  | Ilp_exact of Ec_ilpsolver.Bnb.options
+  | Ilp_heuristic of Ec_ilpsolver.Heuristic.options
+  | Cdcl of Ec_sat.Cdcl.options
+  | Dpll of Ec_sat.Dpll.options
+
+val ilp_exact : t
+(** [Ilp_exact] with default options. *)
+
+val ilp_heuristic : t
+
+val cdcl : t
+
+val dpll : t
+
+val name : t -> string
+
+val with_phase_hint : t -> Ec_cnf.Assignment.t -> t
+(** For backends with a warm-start notion (CDCL phase saving), seed it
+    with a previous solution; other backends are returned unchanged. *)
+
+val solve : ?recover_dc:bool -> t -> Ec_cnf.Formula.t -> Ec_sat.Outcome.t
+(** Satisfiability + model.  [recover_dc] (default [true]) runs the
+    DC-recovery pass on models produced by total-assignment engines. *)
+
+val solve_model : t -> Ec_ilp.Model.t -> Ec_ilp.Solution.t
+(** Solve an arbitrary 0-1 model (used by enabling/preserving, whose
+    models are richer than plain clause systems).  [Cdcl] translates
+    clause-like models to CNF through {!Cnfize} and solves the decision
+    question natively (objective reported at the found point, status
+    [Feasible]); general rows and the other SAT backend fall back to
+    branch & bound.  Optimization is exact under [Ilp_exact];
+    [Ilp_heuristic] returns its best feasible point. *)

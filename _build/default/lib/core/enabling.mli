@@ -1,0 +1,48 @@
+(** Enabling EC (paper §5): bake flexibility into the solution.
+
+    The requirement, for k = 2 (the value used in all the paper's
+    experiments): every clause must either be at least 2-satisfied, or
+    own a {e support} — a currently-false literal whose variable can
+    flip to satisfy the clause without falsifying any other clause.
+
+    Following §5's formulation (with the [Q]/[Zijk] bookkeeping
+    variables folded into one support indicator per (clause, literal)
+    pair, an equivalent but smaller linearization):
+
+    for clause [j] and literal [l ∈ j], support indicator [Z(j,l)]:
+    - [Z(j,l) + x_l <= 1] — the literal is not already selected;
+    - for every other clause [d] containing [¬l]:
+      [Σ_{m ∈ d, m ≠ ¬l} x_m >= Z(j,l) + x_¬l - 1] — if the flip
+      happens while [d] currently relies on [¬l], another literal of
+      [d] must hold it;
+    - flexibility row: [Σ_{l∈j} x_l + Σ_{l∈j} Z(j,l) >= k]  (7).
+
+    Two delivery mechanisms (§4):
+    - [Constraints] ("EC (SC)" in Table 1): the flexibility rows are
+      hard constraints;
+    - [Objective w] ("EC (OF)"): a binary [S_j] per clause scores when
+      the flexibility row holds, and the objective becomes
+      [minimize Σ x - w·Σ S_j]. *)
+
+type mode =
+  | Constraints
+  | Objective of float  (** weight of the flexibility component *)
+
+type info = {
+  support_vars : int;    (** Z(j,l) variables added *)
+  score_vars : int;      (** S_j variables added (OF mode) *)
+  extra_constraints : int;
+}
+
+val add : ?k:int -> mode -> Encode.t -> info
+(** Extend the encoding's model with the enabling machinery
+    (default k = 2).
+    @raise Invalid_argument if [k < 1]. *)
+
+val verify : ?k:int -> Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> bool
+(** Does a concrete solution have the enabling property?  (For k = 2
+    this is {!Ec_cnf.Ksat.enabled}; larger k generalizes: every clause
+    k-satisfied or [k-1]-satisfied with a support.) *)
+
+val flexibility_score : Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> float
+(** Fraction of clauses that are 2-satisfied or supported. *)

@@ -1,0 +1,60 @@
+(** SAT → 0-1 ILP via set cover (paper §3).
+
+    Each variable [vi] of the CNF instance becomes two binary ILP
+    variables: [xi] (positive phase selected) and [x(n+i)] (negative
+    phase selected).  Constraints:
+
+    - one covering row per clause: the phases of its literals sum to
+      at least 1 (equation (5) specialized to set cover),
+    - one exclusion row per variable: [xi + x(n+i) <= 1] (equation (6)).
+
+    The default objective minimizes the number of selected phases, so
+    optimal solutions leave variables unselected wherever possible —
+    those are exactly the don't-care variables the fast-EC machinery
+    wants to recover.
+
+    The encoding object keeps the mapping in both directions, so ILP
+    points decode to {!Ec_cnf.Assignment.t} (phaseless variables
+    becoming DC) and assignments encode to ILP points. *)
+
+type objective =
+  | Minimize_selected_phases  (** the paper's set-cover objective *)
+  | No_objective              (** pure feasibility *)
+
+type t
+
+val of_formula : ?objective:objective -> Ec_cnf.Formula.t -> t
+(** Build the model.  Default objective
+    [Minimize_selected_phases]. *)
+
+val formula : t -> Ec_cnf.Formula.t
+
+val model : t -> Ec_ilp.Model.t
+(** The underlying mutable model.  The enabling/preserving modules add
+    variables and constraints to it; clause/variable rows built here
+    are never removed. *)
+
+val num_cnf_vars : t -> int
+
+val pos_var : t -> int -> int
+(** ILP id of the positive phase of CNF variable [v].
+    @raise Invalid_argument out of range. *)
+
+val neg_var : t -> int -> int
+
+val lit_var : t -> Ec_cnf.Lit.t -> int
+(** ILP id of the phase selecting this literal. *)
+
+val assignment_of_point : t -> float array -> Ec_cnf.Assignment.t
+(** Decode an ILP point (must cover at least the phase variables;
+    extra auxiliary variables are ignored).  Both phases unselected →
+    DC.
+    @raise Invalid_argument if both phases of some variable are
+    selected (the exclusion row forbids it for feasible points). *)
+
+val point_of_assignment : t -> Ec_cnf.Assignment.t -> float array
+(** Encode an assignment as a 0-1 point over the model's {e current}
+    variables; auxiliary variables added after construction get 0. *)
+
+val decode : t -> Ec_ilp.Solution.t -> Ec_cnf.Assignment.t option
+(** [None] when the solution carries no point. *)

@@ -1,0 +1,102 @@
+type simplified = {
+  sub_formula : Ec_cnf.Formula.t;
+  vars : int list;
+  marked : int list;
+  already_satisfied : bool;
+}
+
+let simplify f p =
+  let unsat = Ec_cnf.Assignment.unsatisfied_clauses p f in
+  if unsat = [] then
+    { sub_formula = Ec_cnf.Formula.create ~num_vars:(Ec_cnf.Formula.num_vars f) [];
+      vars = [];
+      marked = [];
+      already_satisfied = true }
+  else begin
+    let n = Ec_cnf.Formula.num_vars f in
+    let in_v = Array.make (n + 1) false in
+    let marked = Array.make (Ec_cnf.Formula.num_clauses f) false in
+    let queue = Queue.create () in
+    let add_var v =
+      if not in_v.(v) then begin
+        in_v.(v) <- true;
+        Queue.push v queue
+      end
+    in
+    let mark i =
+      if not marked.(i) then begin
+        marked.(i) <- true;
+        Ec_cnf.Clause.iter (fun l -> add_var (Ec_cnf.Lit.var l)) (Ec_cnf.Formula.clause f i)
+      end
+    in
+    List.iter mark unsat;
+    (* Fixpoint: a clause touching V is safe only if satisfied by a
+       variable outside V; otherwise it joins the cone. *)
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun i ->
+          if not marked.(i) then begin
+            let c = Ec_cnf.Formula.clause f i in
+            let safe =
+              Ec_cnf.Clause.exists
+                (fun l ->
+                  (not in_v.(Ec_cnf.Lit.var l)) && Ec_cnf.Assignment.lit_true p l)
+                c
+            in
+            if not safe then mark i
+          end)
+        (Ec_cnf.Formula.var_occurrences f v)
+    done;
+    let vars = List.filter (fun v -> in_v.(v)) (List.init n (fun i -> i + 1)) in
+    let marked_idx = ref [] in
+    let sub_clauses = ref [] in
+    for i = Ec_cnf.Formula.num_clauses f - 1 downto 0 do
+      if marked.(i) then begin
+        marked_idx := i :: !marked_idx;
+        let c = Ec_cnf.Formula.clause f i in
+        let kept =
+          Ec_cnf.Clause.fold
+            (fun acc l -> if in_v.(Ec_cnf.Lit.var l) then l :: acc else acc)
+            [] c
+        in
+        sub_clauses := Ec_cnf.Clause.make kept :: !sub_clauses
+      end
+    done;
+    { sub_formula = Ec_cnf.Formula.create ~num_vars:n !sub_clauses;
+      vars;
+      marked = !marked_idx;
+      already_satisfied = false }
+  end
+
+type result = {
+  simplified : simplified;
+  solution : Ec_cnf.Assignment.t option;
+  sub_vars_count : int;
+  sub_clauses_count : int;
+}
+
+let resolve ?(backend = Backend.cdcl) f p =
+  let s = simplify f p in
+  if s.already_satisfied then
+    { simplified = s; solution = Some p; sub_vars_count = 0; sub_clauses_count = 0 }
+  else begin
+    let solution =
+      match Backend.solve backend s.sub_formula with
+      | Ec_sat.Outcome.Sat sub ->
+        let p = Ec_cnf.Assignment.extend p (Ec_cnf.Formula.num_vars f) in
+        let merged = Ec_cnf.Assignment.merge_on ~vars:s.vars ~base:p ~overlay:sub in
+        if Ec_cnf.Assignment.satisfies merged f then Some merged
+        else
+          (* Should not happen: the cone construction guarantees the
+             merge satisfies every clause; fail loudly in debug runs. *)
+          None
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None
+    in
+    { simplified = s;
+      solution;
+      sub_vars_count = List.length s.vars;
+      sub_clauses_count = List.length s.marked }
+  end
+
+let refresh = Ec_sat.Minimize.recover_dc ?order:None

@@ -1,0 +1,56 @@
+(** Fast EC (paper §6, Figure 2): re-solve only the affected cone.
+
+    Given a modified formula [F'] and the previous satisfying
+    assignment [p], Figure 2 extracts a minimal sub-instance:
+
+    + if [p] still satisfies [F'], stop;
+    + mark all clauses [p] leaves unsatisfied; seed the variable set
+      [V] with their variables;
+    + grow to a fixpoint: any clause containing a variable of [V] that
+      is {e not} satisfied by some variable outside [V] gets marked and
+      contributes its variables to [V];
+    + re-solve only the marked clauses over [V]; merge with [p].
+
+    Literals of variables outside [V] inside marked clauses are
+    necessarily unsatisfied under [p] (otherwise the clause would not
+    have been marked), and the merge keeps those variables at [p]'s
+    values, so they are dropped from the sub-instance. *)
+
+type simplified = {
+  sub_formula : Ec_cnf.Formula.t;
+      (** marked clauses, reduced to variables of [vars]; same
+          variable numbering as the input formula *)
+  vars : int list;       (** the set V, ascending *)
+  marked : int list;     (** indices of marked clauses, ascending *)
+  already_satisfied : bool;
+      (** the original assignment already satisfies the modification *)
+}
+
+val simplify : Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> simplified
+(** The cone extraction (no solving).  When [already_satisfied] is
+    true, [sub_formula] is empty and [vars]/[marked] are [[]]. *)
+
+type result = {
+  simplified : simplified;
+  solution : Ec_cnf.Assignment.t option;
+      (** merged full solution; [None] when the sub-instance is
+          unsatisfiable or the backend gave up *)
+  sub_vars_count : int;    (** |V| — Table 2's "Ave. # Vars" *)
+  sub_clauses_count : int; (** marked clause count — "Ave. # Clauses" *)
+}
+
+val resolve :
+  ?backend:Backend.t -> Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> result
+(** Full Figure-2 pipeline: simplify, re-solve the sub-instance with
+    the backend (default {!Backend.cdcl}), and merge the partial new
+    solution into [p] over exactly the variables of [V].
+
+    Note the algorithm is {e incomplete} by design: the sub-instance
+    can be unsatisfiable while the full modified formula is not (the
+    paper accepts this — the cone is chosen so that it happens rarely);
+    callers fall back to a full re-solve on [None]. *)
+
+val refresh : Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> Ec_cnf.Assignment.t
+(** The loosening direction of §6: after clause deletions / variable
+    additions the old solution still works, so just "increase the
+    enabling of the problem" by recovering DC variables. *)

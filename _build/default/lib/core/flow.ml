@@ -1,0 +1,86 @@
+type initial = {
+  formula : Ec_cnf.Formula.t;
+  assignment : Ec_cnf.Assignment.t;
+  enabled : bool;
+  flexibility : float;
+  solve_time_s : float;
+}
+
+let solve_initial ?enable ?(solver = Backend.cdcl) formula =
+  let run () =
+    match enable with
+    | None -> (
+      match Backend.solve solver formula with
+      | Ec_sat.Outcome.Sat a -> Some a
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None)
+    | Some mode -> (
+      let enc = Encode.of_formula formula in
+      let _info = Enabling.add mode enc in
+      let solution = Backend.solve_model solver (Encode.model enc) in
+      match Encode.decode enc solution with
+      | Some a -> Some a
+      | None -> None)
+  in
+  let result, elapsed = Ec_util.Stopwatch.time run in
+  match result with
+  | None -> None
+  | Some a ->
+    Some
+      { formula;
+        assignment = a;
+        enabled = enable <> None;
+        flexibility = Enabling.flexibility_score formula a;
+        solve_time_s = elapsed }
+
+type resolve_strategy =
+  | Fast
+  | Preserve of Preserving.engine
+  | Full
+
+type updated = {
+  new_formula : Ec_cnf.Formula.t;
+  new_assignment : Ec_cnf.Assignment.t;
+  strategy : resolve_strategy;
+  preserved_fraction : float;
+  sub_instance_size : (int * int) option;
+  resolve_time_s : float;
+}
+
+let apply_change ?(strategy = Fast) ?(solver = Backend.cdcl) initial script =
+  let new_formula = Ec_cnf.Change.apply_script initial.formula script in
+  let reference =
+    Ec_cnf.Assignment.extend initial.assignment (Ec_cnf.Formula.num_vars new_formula)
+  in
+  let full_resolve () =
+    (* Warm-started full solve: the old solution seeds phase saving
+       where the backend supports it. *)
+    match Backend.solve (Backend.with_phase_hint solver reference) new_formula with
+    | Ec_sat.Outcome.Sat a -> Some (a, None)
+    | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None
+  in
+  let run () =
+    match strategy with
+    | Full -> full_resolve ()
+    | Fast -> (
+      let r = Fast_ec.resolve ~backend:solver new_formula reference in
+      match r.Fast_ec.solution with
+      | Some a -> Some (a, Some (r.Fast_ec.sub_vars_count, r.Fast_ec.sub_clauses_count))
+      | None -> full_resolve ())
+    | Preserve engine -> (
+      let r = Preserving.resolve ~engine new_formula ~reference in
+      match r.Preserving.solution with
+      | Some a -> Some (a, None)
+      | None -> None)
+  in
+  let result, elapsed = Ec_util.Stopwatch.time run in
+  match result with
+  | None -> None
+  | Some (a, sub) ->
+    Some
+      { new_formula;
+        new_assignment = a;
+        strategy;
+        preserved_fraction =
+          Ec_cnf.Assignment.preserved_fraction ~old_assignment:reference a;
+        sub_instance_size = sub;
+        resolve_time_s = elapsed }

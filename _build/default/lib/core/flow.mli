@@ -1,0 +1,54 @@
+(** The generic ILP-based EC flow (paper §4, Figure 1).
+
+    Original specification → (optionally) enabling EC → solver →
+    initial solution; then a change script produces the new
+    specification, re-solved by fast EC or preserving EC.  This module
+    is the one-call orchestration used by the examples and the
+    harness; each stage is also available individually in
+    {!Encode}/{!Enabling}/{!Fast_ec}/{!Preserving}. *)
+
+type initial = {
+  formula : Ec_cnf.Formula.t;
+  assignment : Ec_cnf.Assignment.t;
+  enabled : bool;          (** was enabling EC applied *)
+  flexibility : float;     (** fraction of clauses 2-satisfied/supported *)
+  solve_time_s : float;
+}
+
+val solve_initial :
+  ?enable:Enabling.mode ->
+  ?solver:Backend.t ->
+  Ec_cnf.Formula.t ->
+  initial option
+(** Produce the initial solution ("non-EC solution", or "EC solution"
+    when [enable] is given).  With [enable], the enabling model is
+    solved by branch & bound (hard constraints) — the
+    {!Backend.ilp_heuristic} backend is substituted automatically for
+    models the exact solver cannot finish if a [solver] of that kind
+    is passed.  [None] when unsatisfiable. *)
+
+type resolve_strategy =
+  | Fast                      (** Figure 2 cone re-solve *)
+  | Preserve of Preserving.engine
+  | Full                      (** baseline: re-solve from scratch *)
+
+type updated = {
+  new_formula : Ec_cnf.Formula.t;
+  new_assignment : Ec_cnf.Assignment.t;
+  strategy : resolve_strategy;
+  preserved_fraction : float; (** agreement with the initial solution *)
+  sub_instance_size : (int * int) option;
+      (** (vars, clauses) of the fast-EC cone when [Fast] was used *)
+  resolve_time_s : float;
+}
+
+val apply_change :
+  ?strategy:resolve_strategy ->
+  ?solver:Backend.t ->
+  initial ->
+  Ec_cnf.Change.t list ->
+  updated option
+(** Apply the script to the initial solution's formula and re-solve
+    with the chosen strategy (default [Fast], falling back to a full
+    re-solve when the cone is unsatisfiable).  [None] when the modified
+    instance cannot be solved. *)

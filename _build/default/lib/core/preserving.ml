@@ -1,0 +1,235 @@
+type engine =
+  | Ilp_objective of Ec_ilpsolver.Bnb.options
+  | Sat_cardinality of Ec_sat.Cdcl.options
+
+let default_engine = Ilp_objective Ec_ilpsolver.Bnb.default_options
+
+type result = {
+  solution : Ec_cnf.Assignment.t option;
+  preserved : int;
+  total : int;
+  optimal : bool;
+}
+
+let preserved_fraction r =
+  if r.total = 0 then 1.0 else float_of_int r.preserved /. float_of_int r.total
+
+let agreement_count reference a =
+  Ec_cnf.Assignment.preserved_count ~old_assignment:reference a
+
+let check_pins n pins =
+  List.iter
+    (fun v ->
+      if v < 1 || v > n then invalid_arg "Preserving.resolve: pinned variable out of range")
+    pins
+
+let reference_value reference v =
+  if v <= Ec_cnf.Assignment.num_vars reference then Ec_cnf.Assignment.value reference v
+  else Ec_cnf.Assignment.Dc
+
+(* --- ILP engine (the paper's §7 formulation) --------------------- *)
+
+let resolve_ilp options pins weights f ~reference =
+  let enc = Encode.of_formula f in
+  let model = Encode.model enc in
+  let n = Encode.num_cnf_vars enc in
+  check_pins n pins;
+  let compared = min n (Ec_cnf.Assignment.num_vars reference) in
+  let weight_of = Hashtbl.create (List.length weights) in
+  List.iter
+    (fun (v, w) ->
+      if v < 1 || v > n then invalid_arg "Preserving.resolve: weighted variable out of range";
+      if w < 0.0 then invalid_arg "Preserving.resolve: negative weight";
+      Hashtbl.replace weight_of v w)
+    weights;
+  let w v = try Hashtbl.find weight_of v with Not_found -> 1.0 in
+  (* Objective: maximize Σ wi·Zi, Zi = pi·xi + p(n+i)·x(n+i); a variable
+     that was DC is preserved by staying DC (1 - xi - x(n+i)). *)
+  let terms = ref [] in
+  let constant = ref 0.0 in
+  for v = 1 to compared do
+    match Ec_cnf.Assignment.value reference v with
+    | Ec_cnf.Assignment.True -> terms := (w v, Encode.pos_var enc v) :: !terms
+    | Ec_cnf.Assignment.False -> terms := (w v, Encode.neg_var enc v) :: !terms
+    | Ec_cnf.Assignment.Dc ->
+      constant := !constant +. w v;
+      terms := ((-.w v), Encode.pos_var enc v) :: ((-.w v), Encode.neg_var enc v) :: !terms
+  done;
+  Ec_ilp.Model.set_objective model Ec_ilp.Model.Maximize
+    (Ec_ilp.Linexpr.of_terms ~constant:!constant !terms);
+  (* Pins: hard equalities on the phase variables. *)
+  List.iter
+    (fun v ->
+      let fix id value =
+        Ec_ilp.Model.add_constr model
+          ~name:(Printf.sprintf "pin%d" v)
+          (Ec_ilp.Linexpr.var id) Ec_ilp.Model.Eq value
+      in
+      match reference_value reference v with
+      | Ec_cnf.Assignment.True -> fix (Encode.pos_var enc v) 1.0
+      | Ec_cnf.Assignment.False -> fix (Encode.neg_var enc v) 1.0
+      | Ec_cnf.Assignment.Dc ->
+        fix (Encode.pos_var enc v) 0.0;
+        fix (Encode.neg_var enc v) 0.0)
+    pins;
+  let solution, _stats = Ec_ilpsolver.Bnb.solve ~options model in
+  match Encode.decode enc solution with
+  | None -> { solution = None; preserved = 0; total = compared; optimal = true }
+  | Some a ->
+    { solution = Some a;
+      preserved = agreement_count reference a;
+      total = compared;
+      optimal = solution.Ec_ilp.Solution.status = Ec_ilp.Solution.Optimal }
+
+(* --- SAT engine --------------------------------------------------- *)
+
+(* The set-cover view is itself CNF: two phase variables per CNF
+   variable, a covering clause per original clause and an exclusion
+   clause per variable.  Over that vocabulary "stays DC" is just "both
+   phases false", so one disagreement indicator per variable captures
+   the same objective as the ILP engine, and a sequential-counter bound
+   with binary search on the disagreement count finds the same optimum
+   with the CDCL engine. *)
+let resolve_sat options pins f ~reference =
+  let n = Ec_cnf.Formula.num_vars f in
+  check_pins n pins;
+  let compared = min n (Ec_cnf.Assignment.num_vars reference) in
+  let pos v = v and neg v = n + v in
+  let base = ref [] in
+  Ec_cnf.Formula.iteri
+    (fun _ c ->
+      let lits =
+        Ec_cnf.Clause.fold
+          (fun acc l ->
+            let v = Ec_cnf.Lit.var l in
+            (if Ec_cnf.Lit.is_positive l then pos v else neg v) :: acc)
+          [] c
+      in
+      match lits with
+      | [] -> base := Ec_cnf.Clause.make [] :: !base
+      | _ -> base := Ec_cnf.Clause.make lits :: !base)
+    f;
+  for v = 1 to n do
+    base := Ec_cnf.Clause.make [ -pos v; -neg v ] :: !base
+  done;
+  (* Pins as unit clauses over phases. *)
+  List.iter
+    (fun v ->
+      match reference_value reference v with
+      | Ec_cnf.Assignment.True -> base := Ec_cnf.Clause.make [ pos v ] :: !base
+      | Ec_cnf.Assignment.False -> base := Ec_cnf.Clause.make [ neg v ] :: !base
+      | Ec_cnf.Assignment.Dc ->
+        base := Ec_cnf.Clause.make [ -pos v ] :: Ec_cnf.Clause.make [ -neg v ] :: !base)
+    pins;
+  (* Disagreement indicators for unpinned compared variables. *)
+  let unpinned =
+    List.filter (fun v -> not (List.mem v pins)) (List.init compared (fun i -> i + 1))
+  in
+  let d_base = 2 * n in
+  let d_clauses = ref [] in
+  let d_lits = ref [] in
+  List.iteri
+    (fun i v ->
+      let d = d_base + i + 1 in
+      d_lits := d :: !d_lits;
+      (match reference_value reference v with
+      | Ec_cnf.Assignment.True ->
+        (* disagree unless the positive phase is selected *)
+        d_clauses := Ec_cnf.Clause.make [ pos v; d ] :: !d_clauses
+      | Ec_cnf.Assignment.False ->
+        d_clauses := Ec_cnf.Clause.make [ neg v; d ] :: !d_clauses
+      | Ec_cnf.Assignment.Dc ->
+        (* disagree if either phase is selected *)
+        d_clauses :=
+          Ec_cnf.Clause.make [ -pos v; d ]
+          :: Ec_cnf.Clause.make [ -neg v; d ]
+          :: !d_clauses))
+    unpinned;
+  let next_var = d_base + List.length unpinned + 1 in
+  let d_lits = List.rev !d_lits in
+  let decode a =
+    let out = ref (Ec_cnf.Assignment.make n) in
+    for v = 1 to n do
+      let p = Ec_cnf.Assignment.value a (pos v) = Ec_cnf.Assignment.True in
+      let q = Ec_cnf.Assignment.value a (neg v) = Ec_cnf.Assignment.True in
+      let value =
+        match (p, q) with
+        | true, false -> Ec_cnf.Assignment.True
+        | false, true -> Ec_cnf.Assignment.False
+        | false, false -> Ec_cnf.Assignment.Dc
+        | true, true -> assert false (* excluded by the exclusion clause *)
+      in
+      out := Ec_cnf.Assignment.set !out v value
+    done;
+    !out
+  in
+  (* Warm start every CDCL call toward the reference: phase variables
+     agreeing with it saved as the preferred polarity. *)
+  let phase_hint =
+    let h = ref (Ec_cnf.Assignment.make (next_var - 1)) in
+    for v = 1 to n do
+      let set var value = h := Ec_cnf.Assignment.set !h var value in
+      match reference_value reference v with
+      | Ec_cnf.Assignment.True ->
+        set (pos v) Ec_cnf.Assignment.True;
+        set (neg v) Ec_cnf.Assignment.False
+      | Ec_cnf.Assignment.False ->
+        set (pos v) Ec_cnf.Assignment.False;
+        set (neg v) Ec_cnf.Assignment.True
+      | Ec_cnf.Assignment.Dc ->
+        set (pos v) Ec_cnf.Assignment.False;
+        set (neg v) Ec_cnf.Assignment.False
+    done;
+    !h
+  in
+  let options = { options with Ec_sat.Cdcl.phase_hint = Some phase_hint } in
+  let disagreements a =
+    List.length
+      (List.filter
+         (fun v ->
+           Ec_cnf.Assignment.value a v <> reference_value reference v)
+         unpinned)
+  in
+  let try_k k =
+    (* Encoding size is proportional to k, so the search below keeps k
+       bounded by the best disagreement count seen so far. *)
+    let card = Ec_sat.Cardinality.at_most ~next_var d_lits k in
+    let clauses = !base @ !d_clauses @ card.clauses in
+    let num_vars = max (card.next_var - 1) (next_var - 1) in
+    let big = Ec_cnf.Formula.create ~num_vars clauses in
+    match Ec_sat.Cdcl.solve_formula ~options big with
+    | Ec_sat.Outcome.Sat a -> Some (decode a)
+    | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None
+  in
+  let m = List.length d_lits in
+  let rec search lo hi best =
+    (* invariant: k = hi is known satisfiable with witness [best] *)
+    if lo >= hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      match try_k mid with
+      | Some a -> search lo (min mid (disagreements a)) (Some a)
+      | None -> search (mid + 1) hi best
+  in
+  let result =
+    (* k = m imposes nothing: solve the plain instance first and use
+       its disagreement count as the initial upper bound. *)
+    match try_k m with
+    | None -> None
+    | Some a -> search 0 (disagreements a) (Some a)
+  in
+  match result with
+  | None -> { solution = None; preserved = 0; total = compared; optimal = true }
+  | Some a ->
+    { solution = Some a;
+      preserved = agreement_count reference a;
+      total = compared;
+      optimal = true }
+
+let resolve ?(engine = default_engine) ?(pins = []) ?(weights = []) f ~reference =
+  match engine with
+  | Ilp_objective options -> resolve_ilp options pins weights f ~reference
+  | Sat_cardinality options ->
+    if weights <> [] then
+      invalid_arg "Preserving.resolve: weights require the Ilp_objective engine";
+    resolve_sat options pins f ~reference

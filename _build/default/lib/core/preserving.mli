@@ -1,0 +1,61 @@
+(** Preserving EC (paper §7): re-solve while keeping the maximum of
+    the previous solution.
+
+    The ILP formulation maximizes [Σ Zi] with
+    [Zi = pi·xi + p(n+i)·x(n+i)] — one agreement indicator per
+    variable, which is linear because the old assignment [p] is a
+    constant.  Variables that were DC in [p] count as preserved when
+    they stay DC ([1 - xi - x(n+i)]), extending the paper's objective
+    to the DC-aware encoding.
+
+    Two exact engines compute the same optimum:
+
+    - [Ilp_objective]: the §7 model solved by branch & bound — the
+      paper's own route;
+    - [Sat_cardinality]: the set-cover view re-expressed as CNF (two
+      phase variables per CNF variable — "stays DC" is "both phases
+      off"), one disagreement indicator per variable, a
+      sequential-counter bound [Σ d_v <= k], and binary search on [k]
+      with the CDCL engine — the scalable route.  Both engines
+      optimize the identical objective and agree on the optimum.
+
+    User-specified preservation ("preserve user specified parts of the
+    solutions") is the [pins] argument: pinned variables are hard
+    constraints, not objective terms. *)
+
+type engine =
+  | Ilp_objective of Ec_ilpsolver.Bnb.options
+  | Sat_cardinality of Ec_sat.Cdcl.options
+
+val default_engine : engine
+
+type result = {
+  solution : Ec_cnf.Assignment.t option;
+      (** [None] when the modified instance is unsatisfiable (or
+          unsatisfiable under the pins) *)
+  preserved : int;   (** variables agreeing with the reference *)
+  total : int;       (** variables compared *)
+  optimal : bool;    (** optimality of [preserved] was proved *)
+}
+
+val resolve :
+  ?engine:engine ->
+  ?pins:int list ->
+  ?weights:(int * float) list ->
+  Ec_cnf.Formula.t ->
+  reference:Ec_cnf.Assignment.t ->
+  result
+(** Solve the (modified) formula, maximizing agreement with
+    [reference].  [pins] lists variables whose reference value
+    (including DC) becomes a hard requirement.  [weights] scales the
+    agreement objective per variable (default 1.0 each): "changing this
+    decision costs ten re-spins downstream" becomes weight 10 — the
+    quantitative form of §7's user-specified preservation.  Weighted
+    objectives require the [Ilp_objective] engine; [preserved]/[total]
+    still report the unweighted count.
+    @raise Invalid_argument if a pinned or weighted variable is out of
+    range, a weight is negative, or weights are passed to the
+    cardinality engine. *)
+
+val preserved_fraction : result -> float
+(** [preserved / total]; 1.0 when nothing is compared. *)

@@ -1,0 +1,1 @@
+lib/harness/fast_resolver.ml: Ec_cnf Ec_core List Protocol

@@ -1,0 +1,1 @@
+lib/harness/fast_resolver.mli: Ec_cnf Protocol

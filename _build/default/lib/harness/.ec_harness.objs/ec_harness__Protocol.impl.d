@@ -1,0 +1,1 @@
+lib/harness/protocol.ml: Ec_core Ec_ilpsolver Ec_instances Ec_util List

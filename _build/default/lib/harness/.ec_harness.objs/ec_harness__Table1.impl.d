@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Ec_core Ec_ilp Ec_ilpsolver Ec_instances Ec_util List Printf Protocol

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Ec_cnf Ec_instances Ec_util Fast_resolver List Printf Protocol

@@ -1,0 +1,1 @@
+lib/harness/table3.ml: Ec_cnf Ec_core Ec_ilpsolver Ec_instances Ec_sat Ec_util List Printf Protocol

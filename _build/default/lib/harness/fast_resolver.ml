@@ -1,0 +1,28 @@
+type outcome = {
+  solution : Ec_cnf.Assignment.t option;
+  sub_vars : int;
+  sub_clauses : int;
+  fell_back : bool;
+}
+
+let resolve config f' p =
+  let s = Ec_core.Fast_ec.simplify f' p in
+  if s.Ec_core.Fast_ec.already_satisfied then
+    { solution = Some p; sub_vars = 0; sub_clauses = 0; fell_back = false }
+  else begin
+    let sub_vars = List.length s.Ec_core.Fast_ec.vars in
+    let sub_clauses = List.length s.Ec_core.Fast_ec.marked in
+    match Protocol.exact_resolve config s.Ec_core.Fast_ec.sub_formula with
+    | Some (sub, _) ->
+      let merged = Ec_cnf.Assignment.merge_on ~vars:s.Ec_core.Fast_ec.vars ~base:p ~overlay:sub in
+      if Ec_cnf.Assignment.satisfies merged f' then
+        { solution = Some merged; sub_vars; sub_clauses; fell_back = false }
+      else
+        (* Defensive: the merge theorem says this cannot happen. *)
+        { solution = None; sub_vars; sub_clauses; fell_back = true }
+    | None -> (
+      (* Cone unsatisfiable (fast EC is incomplete): full re-solve. *)
+      match Protocol.exact_resolve config f' with
+      | Some (a, _) -> { solution = Some a; sub_vars; sub_clauses; fell_back = true }
+      | None -> { solution = None; sub_vars; sub_clauses; fell_back = true })
+  end

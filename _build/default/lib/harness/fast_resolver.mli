@@ -1,0 +1,14 @@
+(** Fast-EC re-solve step shared by Table 2 and the ablations:
+    Figure-2 cone extraction, exact re-solve of the cone, full
+    re-solve fallback when the cone is unsatisfiable. *)
+
+type outcome = {
+  solution : Ec_cnf.Assignment.t option;
+  sub_vars : int;
+  sub_clauses : int;
+  fell_back : bool;
+}
+
+val resolve : Protocol.config -> Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> outcome
+(** [resolve config f' p]: the modified formula and the previous
+    assignment (already extended to [f']'s variable count). *)

@@ -1,0 +1,91 @@
+type config = {
+  scale : float;
+  trials : int;
+  seed : int;
+  bnb_node_limit : int option;
+  time_limit_s : float option;
+  include_large : bool;
+  enabled_initial : bool;
+}
+
+let default_config =
+  { scale = 0.15;
+    trials = 10;
+    seed = 20020610; (* DAC 2002 opened June 10 *)
+    bnb_node_limit = Some 5_000_000;
+    time_limit_s = Some 30.0;
+    include_large = true;
+    enabled_initial = true }
+
+let paper_config =
+  { scale = 1.0;
+    trials = 10;
+    seed = 20020610;
+    bnb_node_limit = None;
+    time_limit_s = None;
+    include_large = true;
+    enabled_initial = true }
+
+let bnb_options config =
+  { Ec_ilpsolver.Bnb.default_options with
+    node_limit = config.bnb_node_limit;
+    time_limit_s = config.time_limit_s }
+
+let heuristic_options config =
+  { Ec_ilpsolver.Heuristic.default_options with
+    seed = config.seed;
+    stop_at_first_feasible = true }
+
+let instances config =
+  let suite =
+    if config.include_large then Ec_instances.Registry.paper_suite
+    else Ec_instances.Registry.small_suite
+  in
+  List.map
+    (fun spec -> Ec_instances.Registry.build (Ec_instances.Registry.scale config.scale spec))
+    suite
+
+let is_heuristic_tier (inst : Ec_instances.Registry.instance) =
+  inst.spec.tier = Ec_instances.Registry.Heuristic
+
+let decode_timed enc solve =
+  let solution, elapsed = Ec_util.Stopwatch.time solve in
+  match Ec_core.Encode.decode enc solution with
+  | Some a -> Some (a, elapsed)
+  | None -> None
+
+let initial_solve config (inst : Ec_instances.Registry.instance) =
+  let enc = Ec_core.Encode.of_formula inst.formula in
+  if config.enabled_initial then
+    ignore (Ec_core.Enabling.add Ec_core.Enabling.Constraints enc);
+  let model = Ec_core.Encode.model enc in
+  let result =
+    if config.enabled_initial then
+      (* Decision mode on the constrained model: any point is an
+         enabled solution; optimality of the cover is not the object of
+         Tables 2/3.  The exact engine serves both tiers here — the
+         min-conflicts heuristic cannot navigate the flexibility rows
+         (see EXPERIMENTS.md). *)
+      decode_timed enc (fun () ->
+          fst (Ec_ilpsolver.Bnb.solve_decision ~options:(bnb_options config) model))
+    else if is_heuristic_tier inst then
+      decode_timed enc (fun () ->
+          fst (Ec_ilpsolver.Heuristic.solve ~options:(heuristic_options config) model))
+    else
+      decode_timed enc (fun () ->
+          fst (Ec_ilpsolver.Bnb.solve ~options:(bnb_options config) model))
+  in
+  (* Note: no DC-recovery pass here.  Releasing variables concentrates
+     each clause's satisfaction in fewer variables, which inflates the
+     fast-EC cone; §6 prescribes DC recovery after loosening changes,
+     not on the initial solution. *)
+  result
+
+let exact_resolve config formula =
+  let enc = Ec_core.Encode.of_formula formula in
+  let model = Ec_core.Encode.model enc in
+  (* Decision mode, like the initial solves: the re-solve question is
+     "find a valid completion", and optimization-mode caps would
+     otherwise dominate the occasional hard cone. *)
+  decode_timed enc (fun () ->
+      fst (Ec_ilpsolver.Bnb.solve_decision ~options:(bnb_options config) model))

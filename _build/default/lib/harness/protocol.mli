@@ -1,0 +1,59 @@
+(** Shared experimental protocol for the three tables.
+
+    Encapsulates the paper's solver assignment: instances in the
+    [Exact] tier are solved by the branch-and-bound ILP solver (CPLEX's
+    role); instances in the [Heuristic] tier get their initial solution
+    from the iterative-improvement solver and their re-solves from an
+    exact engine ("an off-the-shelf solver" in §8).
+
+    A [config] fixes the instance scale (1.0 = the paper's sizes — can
+    take hours, exactly as the paper's Table 1 did on CPLEX), trial
+    counts, seeds and safety limits, so every table run is reproducible
+    from the config alone. *)
+
+type config = {
+  scale : float;           (** instance shrink factor, 1.0 = paper size *)
+  trials : int;            (** trials per instance for Tables 2/3 *)
+  seed : int;
+  bnb_node_limit : int option; (** safety cap for exact solves *)
+  time_limit_s : float option; (** wall-clock cap per exact solve *)
+  include_large : bool;    (** run the heuristic-tier instances too *)
+  enabled_initial : bool;
+      (** produce the initial solution through enabling EC, as in the
+          paper's Figure-1 flow (the "EC solution" feeds the modify
+          stage).  Off = plain solve; the bench ablates the two. *)
+}
+
+val default_config : config
+(** scale 0.18, 10 trials (the paper's Table 2 count), capped solves,
+    large tier included. *)
+
+val paper_config : config
+(** scale 1.0, uncapped.  Expect very long runs. *)
+
+val bnb_options : config -> Ec_ilpsolver.Bnb.options
+
+val heuristic_options : config -> Ec_ilpsolver.Heuristic.options
+
+val instances : config -> Ec_instances.Registry.instance list
+(** Build the (scaled) suite — both tiers unless [include_large] is
+    false. *)
+
+val is_heuristic_tier : Ec_instances.Registry.instance -> bool
+
+val initial_solve :
+  config -> Ec_instances.Registry.instance ->
+  (Ec_cnf.Assignment.t * float) option
+(** The "Orig. Runtime" column: solve the instance's set-cover ILP —
+    branch & bound on the [Exact] tier, first-feasible heuristic on the
+    [Heuristic] tier — and return the decoded assignment with the
+    wall-clock seconds.  With [enabled_initial] the model carries the
+    §5 flexibility rows and the decoded solution is DC-recovered, so
+    the change experiments start from the Figure-1 "EC solution".
+    [None] if the solve failed within limits. *)
+
+val exact_resolve :
+  config -> Ec_cnf.Formula.t -> (Ec_cnf.Assignment.t * float) option
+(** The "off-the-shelf re-solve" used on modified instances and
+    fast-EC cones: branch & bound in decision mode, regardless of
+    tier. *)

@@ -1,0 +1,30 @@
+(** Table 2 — "Experimental Results for fast EC on SAT".
+
+    Per instance, [config.trials] trials; each trial eliminates 3
+    variables and adds 10 clauses (the paper's workload), then runs the
+    Figure-2 pipeline: extract the affected cone, re-solve only it,
+    merge.  Reported: average cone size (#vars / #clauses) and the
+    average re-solve time, normalized by the original solve time. *)
+
+type row = {
+  name : string;
+  num_vars : int;
+  num_clauses : int;
+  orig_s : float;
+  avg_sub_vars : float;
+  avg_sub_clauses : float;
+  avg_new_s : float;       (** absolute seconds *)
+  new_norm : float;        (** [avg_new_s / orig_s] *)
+  trials : int;
+  fallbacks : int;         (** trials where the cone was unsatisfiable
+                               and a full re-solve was needed *)
+}
+
+type result = {
+  exact_rows : row list;
+  heuristic_rows : row list;
+}
+
+val run : ?progress:(string -> unit) -> Protocol.config -> result
+
+val render : result -> string

@@ -1,0 +1,30 @@
+(** Table 3 — "Experimental Results for preserving EC on SAT".
+
+    Per instance, [config.trials] trials; each trial randomly adds and
+    deletes 5 variables and adds and deletes 5 clauses while keeping
+    the instance satisfiable (the paper's workload).  Two re-solves of
+    the modified instance are compared by the percentage of the
+    original assignment they preserve:
+
+    - "% Solution Original": a from-scratch re-solve with no
+      preservation goal (branching ties randomized per trial, modelling
+      a black-box solver's arbitrariness);
+    - "% Solution with EC": preserving EC — the §7 objective on the
+      [Exact] tier, the CDCL-with-cardinality engine on the
+      [Heuristic] tier (the paper's "off-the-shelf solver" slot). *)
+
+type row = {
+  name : string;
+  num_vars : int;
+  num_clauses : int;
+  pct_original : float;   (** mean over trials, in percent *)
+  pct_with_ec : float;
+  trials : int;
+  ec_optimal : int;       (** trials where optimality was proved *)
+}
+
+type result = { rows : row list }
+
+val run : ?progress:(string -> unit) -> Protocol.config -> result
+
+val render : result -> string

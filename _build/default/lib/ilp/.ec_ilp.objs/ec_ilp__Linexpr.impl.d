@@ -1,0 +1,1 @@
+lib/ilp/linexpr.ml: Int List Printf String

@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Buffer Hashtbl Linexpr List Printf

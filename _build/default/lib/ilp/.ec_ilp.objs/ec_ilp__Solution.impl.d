@@ -1,0 +1,1 @@
+lib/ilp/solution.ml: Array Printf

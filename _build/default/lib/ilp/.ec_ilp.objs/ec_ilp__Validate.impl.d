@@ -1,0 +1,1 @@
+lib/ilp/validate.ml: Array Linexpr List Model Printf

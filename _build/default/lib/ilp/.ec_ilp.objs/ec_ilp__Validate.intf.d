@@ -1,0 +1,1 @@
+lib/ilp/validate.mli: Model

@@ -1,0 +1,69 @@
+type t = {
+  const : float;
+  terms : (float * int) list; (* ascending var order, no zero coeffs *)
+}
+
+let zero = { const = 0.0; terms = [] }
+
+let constant c = { const = c; terms = [] }
+
+let term c x =
+  if x < 0 then invalid_arg "Linexpr.term: negative variable id";
+  if c = 0.0 then zero else { const = 0.0; terms = [ (c, x) ] }
+
+let var x = term 1.0 x
+
+let normalize terms =
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare a b) terms in
+  let rec merge = function
+    | (c1, x1) :: (c2, x2) :: rest when x1 = x2 -> merge ((c1 +. c2, x1) :: rest)
+    | (c, x) :: rest -> if c = 0.0 then merge rest else (c, x) :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let of_terms ?(constant = 0.0) terms =
+  List.iter (fun (_, x) -> if x < 0 then invalid_arg "Linexpr.of_terms: negative id") terms;
+  { const = constant; terms = normalize terms }
+
+let add a b = { const = a.const +. b.const; terms = normalize (a.terms @ b.terms) }
+
+let scale k e =
+  if k = 0.0 then zero
+  else { const = k *. e.const; terms = List.map (fun (c, x) -> (k *. c, x)) e.terms }
+
+let sub a b = add a (scale (-1.0) b)
+
+let sum es = List.fold_left add zero es
+
+let terms e = e.terms
+
+let const_part e = e.const
+
+let coeff e x = try fst (List.find (fun (_, y) -> y = x) e.terms) with Not_found -> 0.0
+
+let vars e = List.map snd e.terms
+
+let eval valuation e =
+  List.fold_left (fun acc (c, x) -> acc +. (c *. valuation x)) e.const e.terms
+
+let is_constant e = e.terms = []
+
+let equal a b = a.const = b.const && a.terms = b.terms
+
+let to_string ?(name = fun i -> Printf.sprintf "x%d" i) e =
+  let term_str (c, x) =
+    if c = 1.0 then name x
+    else if c = -1.0 then "-" ^ name x
+    else Printf.sprintf "%g*%s" c (name x)
+  in
+  let parts = List.map term_str e.terms in
+  let parts = if e.const = 0.0 && parts <> [] then parts else parts @ [ Printf.sprintf "%g" e.const ] in
+  match parts with
+  | [] -> "0"
+  | first :: rest ->
+    List.fold_left
+      (fun acc p ->
+        if String.length p > 0 && p.[0] = '-' then acc ^ " - " ^ String.sub p 1 (String.length p - 1)
+        else acc ^ " + " ^ p)
+      first rest

@@ -1,0 +1,53 @@
+(** Sparse linear expressions [c0 + Σ ci·xi] over integer variable
+    identifiers.
+
+    The building block of ILP models: both constraints' left-hand
+    sides and objectives are linear expressions.  Construction
+    normalizes: terms are merged per variable and zero coefficients
+    dropped, so structural equality is semantic equality. *)
+
+type t
+
+val zero : t
+
+val constant : float -> t
+
+val term : float -> int -> t
+(** [term c x] is the single-term expression [c·x].
+    @raise Invalid_argument if the variable id is negative. *)
+
+val var : int -> t
+(** [var x] is [term 1.0 x]. *)
+
+val of_terms : ?constant:float -> (float * int) list -> t
+(** Sum of terms plus an optional constant; duplicate variables are
+    merged. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val sum : t list -> t
+
+val terms : t -> (float * int) list
+(** Normalized terms in ascending variable order, no zeros. *)
+
+val const_part : t -> float
+
+val coeff : t -> int -> float
+(** Coefficient of a variable (0.0 when absent). *)
+
+val vars : t -> int list
+(** Ascending, duplicate-free. *)
+
+val eval : (int -> float) -> t -> float
+(** Evaluate under a valuation of the variables. *)
+
+val is_constant : t -> bool
+
+val equal : t -> t -> bool
+
+val to_string : ?name:(int -> string) -> t -> string
+(** Human-readable rendering; [name] overrides the default ["x<i>"]. *)

@@ -1,0 +1,127 @@
+type sense = Minimize | Maximize
+
+type relation = Le | Ge | Eq
+
+type var_kind = Binary | Continuous of float * float
+
+type constr = {
+  name : string;
+  expr : Linexpr.t;
+  relation : relation;
+  rhs : float;
+}
+
+type t = {
+  mutable kinds : var_kind array;
+  mutable names : string array;
+  mutable nvars : int;
+  mutable constrs_rev : constr list;
+  mutable nconstrs : int;
+  mutable obj : (sense * Linexpr.t) option;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create () =
+  { kinds = Array.make 16 Binary;
+    names = Array.make 16 "";
+    nvars = 0;
+    constrs_rev = [];
+    nconstrs = 0;
+    obj = None;
+    by_name = Hashtbl.create 64 }
+
+let grow t =
+  let cap = Array.length t.kinds in
+  let kinds = Array.make (2 * cap) Binary in
+  let names = Array.make (2 * cap) "" in
+  Array.blit t.kinds 0 kinds 0 t.nvars;
+  Array.blit t.names 0 names 0 t.nvars;
+  t.kinds <- kinds;
+  t.names <- names
+
+let add_var t ?name kind =
+  if t.nvars = Array.length t.kinds then grow t;
+  let id = t.nvars in
+  t.kinds.(id) <- kind;
+  (match name with
+  | None -> t.names.(id) <- ""
+  | Some n ->
+    t.names.(id) <- n;
+    Hashtbl.replace t.by_name n id);
+  t.nvars <- id + 1;
+  id
+
+let num_vars t = t.nvars
+
+let check_var t i =
+  if i < 0 || i >= t.nvars then
+    invalid_arg (Printf.sprintf "Model: variable id %d out of range [0,%d)" i t.nvars)
+
+let var_kind t i =
+  check_var t i;
+  t.kinds.(i)
+
+let var_name t i =
+  check_var t i;
+  if t.names.(i) = "" then Printf.sprintf "x%d" i else t.names.(i)
+
+let find_var t name = Hashtbl.find t.by_name name
+
+let check_expr t expr = List.iter (check_var t) (Linexpr.vars expr)
+
+let add_constr t ?name expr relation rhs =
+  check_expr t expr;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" t.nconstrs
+  in
+  t.constrs_rev <- { name; expr; relation; rhs } :: t.constrs_rev;
+  t.nconstrs <- t.nconstrs + 1
+
+let num_constrs t = t.nconstrs
+
+let constrs t = Array.of_list (List.rev t.constrs_rev)
+
+let set_objective t sense expr =
+  check_expr t expr;
+  t.obj <- Some (sense, expr)
+
+let objective t = match t.obj with Some o -> o | None -> (Minimize, Linexpr.zero)
+
+let relax t =
+  let kinds =
+    Array.map
+      (function Binary -> Continuous (0.0, 1.0) | Continuous _ as k -> k)
+      (Array.sub t.kinds 0 t.nvars)
+  in
+  { t with
+    kinds;
+    names = Array.sub t.names 0 t.nvars;
+    by_name = Hashtbl.copy t.by_name }
+
+let relation_to_string = function Le -> "<=" | Ge -> ">=" | Eq -> "="
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  let name i = var_name t i in
+  let sense, obj = objective t in
+  Buffer.add_string buf
+    (Printf.sprintf "%s: %s\nsubject to:\n"
+       (match sense with Minimize -> "minimize" | Maximize -> "maximize")
+       (Linexpr.to_string ~name obj));
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s %s %g\n" c.name
+           (Linexpr.to_string ~name c.expr)
+           (relation_to_string c.relation) c.rhs))
+    (List.rev t.constrs_rev);
+  Buffer.add_string buf "variables:\n";
+  for i = 0 to t.nvars - 1 do
+    let kind =
+      match t.kinds.(i) with
+      | Binary -> "binary"
+      | Continuous (lo, hi) -> Printf.sprintf "[%g, %g]" lo hi
+    in
+    Buffer.add_string buf (Printf.sprintf "  %s: %s\n" (name i) kind)
+  done;
+  Buffer.contents buf

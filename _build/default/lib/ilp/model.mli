@@ -1,0 +1,64 @@
+(** 0-1 / mixed linear programming models (§3, equations (1)–(6)).
+
+    A model is a mutable builder: declare variables, post constraints,
+    set an objective, then freeze it and hand it to a solver.  The
+    paper's formulations are all 0-1 ILPs; continuous variables exist
+    so the same type can represent LP relaxations. *)
+
+type sense = Minimize | Maximize
+
+type relation = Le | Ge | Eq
+
+type var_kind =
+  | Binary                       (** 0-1 decision variable (the paper's x) *)
+  | Continuous of float * float  (** lower/upper bounds *)
+
+type constr = {
+  name : string;
+  expr : Linexpr.t;
+  relation : relation;
+  rhs : float;
+}
+
+type t
+
+val create : unit -> t
+
+val add_var : t -> ?name:string -> var_kind -> int
+(** Declares a variable and returns its dense id (0-based). *)
+
+val num_vars : t -> int
+
+val var_kind : t -> int -> var_kind
+(** @raise Invalid_argument on unknown ids. *)
+
+val var_name : t -> int -> string
+(** The declared name, or ["x<i>"]. *)
+
+val find_var : t -> string -> int
+(** Look a variable up by declared name.
+    @raise Not_found if absent. *)
+
+val add_constr : t -> ?name:string -> Linexpr.t -> relation -> float -> unit
+(** Post [expr relation rhs].
+    @raise Invalid_argument if the expression mentions undeclared
+    variables. *)
+
+val num_constrs : t -> int
+
+val constrs : t -> constr array
+(** Snapshot in posting order; callers must not mutate. *)
+
+val set_objective : t -> sense -> Linexpr.t -> unit
+(** @raise Invalid_argument if the expression mentions undeclared
+    variables. *)
+
+val objective : t -> sense * Linexpr.t
+(** Defaults to [Minimize 0] if never set. *)
+
+val relax : t -> t
+(** The LP relaxation: binary variables become continuous in
+    [0, 1]. *)
+
+val to_string : t -> string
+(** LP-format-style listing for debugging and docs. *)

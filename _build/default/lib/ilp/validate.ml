@@ -1,0 +1,44 @@
+type violation =
+  | Constraint_violated of string * float
+  | Bound_violated of int * float
+  | Not_integral of int * float
+
+let violation_to_string = function
+  | Constraint_violated (name, by) ->
+    Printf.sprintf "constraint %s violated by %g" name by
+  | Bound_violated (i, x) -> Printf.sprintf "variable x%d = %g outside bounds" i x
+  | Not_integral (i, x) -> Printf.sprintf "binary variable x%d = %g not integral" i x
+
+let check ?(eps = 1e-6) model point =
+  if Array.length point <> Model.num_vars model then
+    invalid_arg "Validate.check: point length mismatch";
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  for i = 0 to Model.num_vars model - 1 do
+    let x = point.(i) in
+    (match Model.var_kind model i with
+    | Model.Binary ->
+      if x < -.eps || x > 1.0 +. eps then add (Bound_violated (i, x))
+      else if abs_float x > eps && abs_float (x -. 1.0) > eps then
+        add (Not_integral (i, x))
+    | Model.Continuous (lo, hi) ->
+      if x < lo -. eps || x > hi +. eps then add (Bound_violated (i, x)))
+  done;
+  Array.iter
+    (fun (c : Model.constr) ->
+      let lhs = Linexpr.eval (fun i -> point.(i)) c.expr in
+      let slack =
+        match c.relation with
+        | Model.Le -> c.rhs -. lhs
+        | Model.Ge -> lhs -. c.rhs
+        | Model.Eq -> -.abs_float (lhs -. c.rhs)
+      in
+      if slack < -.eps then add (Constraint_violated (c.name, -.slack)))
+    (Model.constrs model);
+  List.rev !violations
+
+let is_feasible ?eps model point = check ?eps model point = []
+
+let objective_value model point =
+  let _, obj = Model.objective model in
+  Linexpr.eval (fun i -> point.(i)) obj

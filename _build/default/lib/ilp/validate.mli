@@ -1,0 +1,23 @@
+(** Independent checking of candidate solutions against a model.
+
+    Used by tests (every solver result is re-validated by code that
+    shares nothing with the solvers) and by the harness before it
+    reports a number. *)
+
+type violation =
+  | Constraint_violated of string * float
+      (** constraint name and the amount by which it is violated *)
+  | Bound_violated of int * float   (** variable id and its value *)
+  | Not_integral of int * float     (** binary variable with fractional value *)
+
+val violation_to_string : violation -> string
+
+val check : ?eps:float -> Model.t -> float array -> violation list
+(** All violations of the point (default eps = 1e-6); [] means the
+    point is feasible.
+    @raise Invalid_argument if the point's length differs from the
+    model's variable count. *)
+
+val is_feasible : ?eps:float -> Model.t -> float array -> bool
+
+val objective_value : Model.t -> float array -> float

@@ -1,0 +1,1 @@
+lib/ilpsolver/bnb.mli: Ec_ilp

@@ -1,0 +1,1 @@
+lib/ilpsolver/heuristic.ml: Array Ec_ilp Ec_util Float List Rows

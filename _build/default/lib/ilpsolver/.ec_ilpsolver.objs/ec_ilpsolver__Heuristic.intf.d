@@ -1,0 +1,1 @@
+lib/ilpsolver/heuristic.mli: Ec_ilp

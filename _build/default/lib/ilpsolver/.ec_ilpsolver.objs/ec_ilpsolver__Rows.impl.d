@@ -1,0 +1,1 @@
+lib/ilpsolver/rows.ml: Array Ec_ilp Float List

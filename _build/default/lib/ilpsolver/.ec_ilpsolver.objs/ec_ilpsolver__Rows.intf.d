@@ -1,0 +1,1 @@
+lib/ilpsolver/rows.mli: Ec_ilp

@@ -1,0 +1,40 @@
+(** Iterative-improvement heuristic for 0-1 models.
+
+    Stands in for the "heuristic iterative improvement-based ILP
+    solver" the paper cites as its reference [6] and uses to produce
+    initial solutions for the large instances.  Classic min-conflicts
+    local search: start from a random point, repeatedly pick a violated
+    row and flip the variable in it that most reduces total violation,
+    with a noise probability of a random flip (WalkSAT-style), a tabu
+    tenure to avoid two-cycles, and restarts.
+
+    Feasible points are recorded as incumbents ranked by the model
+    objective; the search then perturbs and continues, so with budget
+    left it also improves objective quality.  The result status is
+    [Feasible] (never [Optimal]) or [Unknown] when no feasible point
+    was found within budget. *)
+
+type options = {
+  max_flips : int;          (** per restart *)
+  max_restarts : int;
+  noise : float;            (** probability of a random (non-greedy) flip *)
+  tabu_tenure : int;        (** flips during which re-flipping is discouraged *)
+  seed : int;
+  stop_at_first_feasible : bool;
+      (** return as soon as any feasible point is found (the mode used
+          to seed the large-instance pipeline) *)
+  initial_point : int array option;
+      (** warm start for the first restart: repair/extend an existing
+          solution instead of starting from a random point *)
+}
+
+val default_options : options
+
+type stats = {
+  flips : int;
+  restarts : int;
+  feasible_hits : int;      (** number of times a feasible point was reached *)
+}
+
+val solve : ?options:options -> Ec_ilp.Model.t -> Ec_ilp.Solution.t * stats
+(** @raise Invalid_argument if the model has continuous variables. *)

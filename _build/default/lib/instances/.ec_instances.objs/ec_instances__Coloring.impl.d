@@ -1,0 +1,1 @@
+lib/instances/coloring.ml: Array Ec_cnf Ec_util Hashtbl List Padding

@@ -1,0 +1,1 @@
+lib/instances/coloring.mli: Ec_cnf

@@ -1,0 +1,1 @@
+lib/instances/inductive.ml: Ec_util Padding

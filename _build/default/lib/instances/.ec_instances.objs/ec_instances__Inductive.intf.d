@@ -1,0 +1,1 @@
+lib/instances/inductive.mli: Ec_cnf

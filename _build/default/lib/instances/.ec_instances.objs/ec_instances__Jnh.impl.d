@@ -1,0 +1,1 @@
+lib/instances/jnh.ml: Ec_util List Padding

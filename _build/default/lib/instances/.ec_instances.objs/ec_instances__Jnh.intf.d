@@ -1,0 +1,1 @@
+lib/instances/jnh.mli: Ec_cnf

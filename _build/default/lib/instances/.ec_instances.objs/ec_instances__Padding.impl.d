@@ -1,0 +1,1 @@
+lib/instances/padding.ml: Ec_cnf Ec_util List Printf

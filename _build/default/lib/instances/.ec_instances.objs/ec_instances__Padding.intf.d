@@ -1,0 +1,1 @@
+lib/instances/padding.mli: Ec_cnf Ec_util

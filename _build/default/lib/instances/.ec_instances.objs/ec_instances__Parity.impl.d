@@ -1,0 +1,1 @@
+lib/instances/parity.ml: Ec_cnf Ec_util List Padding

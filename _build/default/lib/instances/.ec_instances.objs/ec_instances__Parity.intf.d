@@ -1,0 +1,1 @@
+lib/instances/parity.mli: Ec_cnf

@@ -1,0 +1,1 @@
+lib/instances/random_ksat.ml: Ec_cnf Ec_util List Padding

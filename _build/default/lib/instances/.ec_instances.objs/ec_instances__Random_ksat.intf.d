@@ -1,0 +1,1 @@
+lib/instances/random_ksat.mli: Ec_cnf

@@ -1,0 +1,1 @@
+lib/instances/registry.ml: Coloring Ec_cnf Inductive Jnh List Parity Printf Random_ksat

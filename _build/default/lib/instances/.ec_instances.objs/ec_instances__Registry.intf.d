@@ -1,0 +1,1 @@
+lib/instances/registry.mli: Ec_cnf

@@ -1,0 +1,69 @@
+let generate ~seed ~nodes ~colors ~num_clauses =
+  if nodes < 2 || colors < 4 then invalid_arg "Coloring.generate: degenerate size";
+  let rem = num_clauses - nodes in
+  if rem < 0 || rem mod colors <> 0 then
+    invalid_arg "Coloring.generate: num_clauses must be nodes + edges*colors";
+  let edges = rem / colors in
+  let rng = Ec_util.Rng.create seed in
+  let num_vars = nodes * colors in
+  let var node color = ((node - 1) * colors) + color in
+  (* Plant a proper PAIR coloring: every node carries two colors, and
+     edges only join nodes with disjoint pairs.  Under that planted
+     point every node clause is 2-satisfied and every conflict clause
+     is 2-satisfied or supported (dropping one of a node's two colors
+     breaks nothing), so the instance provably admits enabling EC. *)
+  let pair_of =
+    Array.init (nodes + 1) (fun _ ->
+        let c1 = 1 + Ec_util.Rng.int rng colors in
+        let rec other () =
+          let c = 1 + Ec_util.Rng.int rng colors in
+          if c = c1 then other () else c
+        in
+        (c1, other ()))
+  in
+  let planted =
+    Ec_cnf.Assignment.of_list num_vars
+      (List.concat_map
+         (fun node ->
+           let c1, c2 = pair_of.(node) in
+           List.init colors (fun c0 ->
+               let color = c0 + 1 in
+               (var node color, color = c1 || color = c2)))
+         (List.init nodes (fun i -> i + 1)))
+  in
+  let disjoint u w =
+    let a1, a2 = pair_of.(u) and b1, b2 = pair_of.(w) in
+    a1 <> b1 && a1 <> b2 && a2 <> b1 && a2 <> b2
+  in
+  let seen = Hashtbl.create (2 * edges) in
+  let rec draw_edges acc remaining guard =
+    if remaining = 0 then acc
+    else if guard > 1000 * (edges + 10) then
+      invalid_arg "Coloring.generate: cannot place that many edges"
+    else begin
+      let u = 1 + Ec_util.Rng.int rng nodes in
+      let w = 1 + Ec_util.Rng.int rng nodes in
+      let u, w = (min u w, max u w) in
+      if u = w || (not (disjoint u w)) || Hashtbl.mem seen (u, w) then
+        draw_edges acc remaining (guard + 1)
+      else begin
+        Hashtbl.add seen (u, w) ();
+        draw_edges ((u, w) :: acc) (remaining - 1) (guard + 1)
+      end
+    end
+  in
+  let edge_list = draw_edges [] edges 0 in
+  let node_clauses =
+    List.init nodes (fun i ->
+        let node = i + 1 in
+        Ec_cnf.Clause.make (List.init colors (fun c0 -> var node (c0 + 1))))
+  in
+  let conflict_clauses =
+    List.concat_map
+      (fun (u, w) ->
+        List.init colors (fun c0 ->
+            let color = c0 + 1 in
+            Ec_cnf.Clause.make [ -var u color; -var w color ]))
+      edge_list
+  in
+  Padding.finish ~name:"coloring" ~num_vars ~planted (node_clauses @ conflict_clauses)

@@ -1,0 +1,23 @@
+(** g*-style instances: graph k-coloring CNF.
+
+    The DIMACS [g250.15]/[g250.29] instances encode coloring of random
+    250-node graphs.  Variables are (node, color) pairs; one
+    at-least-one-color clause per node, one binary conflict clause per
+    (edge, color).  We plant a random coloring and only draw edges
+    between differently-colored nodes, so the planted coloring is
+    proper; edge count is derived from the target clause count
+    ([edges = (num_clauses - nodes) / colors]).
+
+    The planted witness is a proper {e pair} coloring (two colors per
+    node, edges only between disjoint pairs): node clauses come out
+    2-satisfied and conflict clauses 2-satisfied or supported, so the
+    instance provably admits an enabling-EC solution, like the DIMACS
+    originals the paper ran Table 1 on. *)
+
+val generate :
+  seed:int -> nodes:int -> colors:int -> num_clauses:int ->
+  Ec_cnf.Formula.t * Ec_cnf.Assignment.t
+(** Variables are numbered [(node-1)·colors + color], nodes and colors
+    1-based.
+    @raise Invalid_argument if the edge count implied by [num_clauses]
+    is not an integer or exceeds the differently-colored pair count. *)

@@ -1,0 +1,18 @@
+let generate ~seed ~num_vars ~num_clauses =
+  if num_vars < 4 then invalid_arg "Inductive.generate: need >= 4 variables";
+  let rng = Ec_util.Rng.create seed in
+  let planted = Padding.random_planted rng num_vars in
+  let wide_budget = num_clauses / 3 in
+  let core = ref [] in
+  (* Wide "choose an explanation" clauses: mostly positive literals,
+     anchored on the planted assignment. *)
+  for _ = 1 to wide_budget do
+    let width = min num_vars (5 + Ec_util.Rng.int rng 5) in
+    let c = Padding.anchored_clause rng ~planted ~num_vars ~width in
+    core := c :: !core
+  done;
+  (* Binary implications r -> f, anchored. *)
+  let clauses =
+    Padding.pad_to rng ~planted ~num_vars ~target:num_clauses ~width:2 !core
+  in
+  Padding.finish ~name:"inductive" ~num_vars ~planted clauses

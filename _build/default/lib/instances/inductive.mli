@@ -1,0 +1,12 @@
+(** ii*-style instances: inductive-inference covering structure.
+
+    The DIMACS [ii8*]/[ii16*] family encodes Boolean function inference
+    as covering problems: wide positive "choose an explanation"
+    clauses together with many binary implication clauses tying
+    explanations to features.  We regenerate that mix — roughly one
+    third wide clauses (width 5–9), two thirds implications — planted
+    and padded to exact size. *)
+
+val generate :
+  seed:int -> num_vars:int -> num_clauses:int ->
+  Ec_cnf.Formula.t * Ec_cnf.Assignment.t

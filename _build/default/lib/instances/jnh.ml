@@ -1,0 +1,10 @@
+let generate ~seed ~num_vars ~num_clauses =
+  if num_vars < 3 then invalid_arg "Jnh.generate: need >= 3 variables";
+  let rng = Ec_util.Rng.create seed in
+  let planted = Padding.random_planted rng num_vars in
+  let clause _ =
+    let width = min num_vars (3 + Ec_util.Rng.int rng 5) in
+    Padding.anchored_clause rng ~planted ~num_vars ~width
+  in
+  let clauses = List.init num_clauses clause in
+  Padding.finish ~name:"jnh" ~num_vars ~planted clauses

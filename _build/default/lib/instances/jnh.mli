@@ -1,0 +1,10 @@
+(** jnh*-style instances: random clauses of mixed widths.
+
+    The DIMACS [jnh] family draws each clause by including literals
+    with a fixed probability, yielding widths concentrated around 5
+    over 100 variables.  We sample widths from the same band (3–7,
+    mean 5) and anchor every clause on the planted assignment. *)
+
+val generate :
+  seed:int -> num_vars:int -> num_clauses:int ->
+  Ec_cnf.Formula.t * Ec_cnf.Assignment.t

@@ -1,0 +1,39 @@
+let random_planted rng n =
+  Ec_cnf.Assignment.of_bool_list (List.init n (fun _ -> Ec_util.Rng.bool rng))
+
+let anchored_clause ?(agree = 2) rng ~planted ~num_vars ~width =
+  let agree = min agree width in
+  (* Pick [width] distinct variables; make [agree] of them literals
+     that match the planted value, randomize the rest. *)
+  let vars = Ec_util.Rng.sample rng width num_vars in
+  let lits =
+    List.mapi
+      (fun i v0 ->
+        let v = v0 + 1 in
+        if i < agree then
+          match Ec_cnf.Assignment.value planted v with
+          | Ec_cnf.Assignment.True -> v
+          | Ec_cnf.Assignment.False -> -v
+          | Ec_cnf.Assignment.Dc -> if Ec_util.Rng.bool rng then v else -v
+        else if Ec_util.Rng.bool rng then v
+        else -v)
+      vars
+  in
+  Ec_cnf.Clause.make lits
+
+let pad_to rng ~planted ~num_vars ~target ?(width = 3) core =
+  let have = List.length core in
+  if have > target then
+    invalid_arg
+      (Printf.sprintf "Padding.pad_to: core has %d clauses, target %d" have target);
+  let padding =
+    List.init (target - have) (fun _ ->
+        anchored_clause ~agree:2 rng ~planted ~num_vars ~width:(min width num_vars))
+  in
+  core @ padding
+
+let finish ~name ~num_vars ~planted clauses =
+  let f = Ec_cnf.Formula.create ~num_vars clauses in
+  if not (Ec_cnf.Assignment.satisfies planted f) then
+    failwith (Printf.sprintf "instance generator %s: planted assignment does not satisfy" name);
+  (f, planted)

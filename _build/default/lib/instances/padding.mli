@@ -1,0 +1,47 @@
+(** Shared machinery for the instance generators.
+
+    Every family generator plants a satisfying assignment, builds its
+    structured core, then pads with planted-satisfied random clauses
+    until the clause count matches the paper's tables exactly.  Padding
+    preserves satisfiability by construction and keeps instance sizes
+    byte-for-byte comparable with the originals. *)
+
+val random_planted : Ec_util.Rng.t -> int -> Ec_cnf.Assignment.t
+(** Total random assignment over [n] variables. *)
+
+val anchored_clause :
+  ?agree:int ->
+  Ec_util.Rng.t ->
+  planted:Ec_cnf.Assignment.t ->
+  num_vars:int ->
+  width:int ->
+  Ec_cnf.Clause.t
+(** Random clause of [width] distinct variables with at least
+    [agree] literals satisfied by [planted] (default 2, capped at the
+    width).  The default matters: with every clause at least
+    2-satisfied by the planted assignment, the instance provably
+    admits an enabling-EC solution (§5's hard constraints are
+    feasible), mirroring the DIMACS originals on which the paper's
+    Table 1 reports EC(SC) solutions. *)
+
+val pad_to :
+  Ec_util.Rng.t ->
+  planted:Ec_cnf.Assignment.t ->
+  num_vars:int ->
+  target:int ->
+  ?width:int ->
+  Ec_cnf.Clause.t list ->
+  Ec_cnf.Clause.t list
+(** Append anchored clauses (default width 3) until the list reaches
+    [target] clauses.
+    @raise Invalid_argument if the core already exceeds [target]. *)
+
+val finish :
+  name:string ->
+  num_vars:int ->
+  planted:Ec_cnf.Assignment.t ->
+  Ec_cnf.Clause.t list ->
+  Ec_cnf.Formula.t * Ec_cnf.Assignment.t
+(** Assemble the formula and assert the planted assignment satisfies
+    it (generators are property-checked at construction time).
+    @raise Failure naming the generator if the invariant fails. *)

@@ -1,0 +1,72 @@
+(* XOR of three literals a⊕b⊕c = rhs as four width-3 clauses. *)
+let xor3_clauses a b c rhs =
+  let mk sa sb sc =
+    [ (if sa then a else -a); (if sb then b else -b); (if sc then c else -c) ]
+  in
+  if rhs then
+    (* odd number of true literals *)
+    [ mk true true true; mk true false false; mk false true false; mk false false true ]
+  else
+    [ mk false false false; mk false true true; mk true false true; mk true true false ]
+
+let xor_value planted vs =
+  List.fold_left
+    (fun acc v ->
+      match Ec_cnf.Assignment.value planted v with
+      | Ec_cnf.Assignment.True -> not acc
+      | Ec_cnf.Assignment.False -> acc
+      | Ec_cnf.Assignment.Dc -> acc)
+    false vs
+
+let generate ~seed ~num_vars ~num_clauses =
+  if num_vars < 5 then invalid_arg "Parity.generate: need >= 5 variables";
+  let rng = Ec_util.Rng.create seed in
+  (* Reserve a small pool of relaxer variables, planted true.  Strict
+     XOR encodings are provably not 2-enableable (a lone flip always
+     breaks the parity), so, as in the minimized DIMACS originals
+     where helper variables soften the chains, each XOR clause the
+     planted assignment only 1-satisfies gets one relaxer literal. *)
+  let nslack = max 2 (num_vars / 32) in
+  let chain_vars = num_vars - nslack in
+  let planted_bools =
+    List.init num_vars (fun i -> if i >= chain_vars then true else Ec_util.Rng.bool rng)
+  in
+  let planted = Ec_cnf.Assignment.of_bool_list planted_bools in
+  let slack i = chain_vars + 1 + (i mod nslack) in
+  let slack_counter = ref 0 in
+  let relax lits =
+    let sat =
+      List.fold_left
+        (fun acc l -> if Ec_cnf.Assignment.lit_true planted l then acc + 1 else acc)
+        0 lits
+    in
+    if sat >= 2 then lits
+    else begin
+      incr slack_counter;
+      slack !slack_counter :: lits
+    end
+  in
+  let max_triples = num_clauses / 4 in
+  let chain_triples = max 1 (chain_vars - 2) in
+  let triples = min max_triples chain_triples in
+  if triples < 1 then invalid_arg "Parity.generate: clause budget too small";
+  let core = ref [] in
+  let add_xor a b c =
+    let rhs = xor_value planted [ a; b; c ] in
+    List.iter
+      (fun lits -> core := Ec_cnf.Clause.make (relax lits) :: !core)
+      (xor3_clauses a b c rhs)
+  in
+  for i = 1 to triples do
+    add_xor i (i + 1) (i + 2)
+  done;
+  (* Extra random triples keep the XOR flavour when the clause budget
+     outruns the chain. *)
+  let extra = (num_clauses - List.length !core) / 4 in
+  for _ = 1 to extra do
+    match Ec_util.Rng.sample rng 3 chain_vars with
+    | [ x; y; z ] -> add_xor (x + 1) (y + 1) (z + 1)
+    | _ -> assert false
+  done;
+  let clauses = Padding.pad_to rng ~planted ~num_vars ~target:num_clauses !core in
+  Padding.finish ~name:"parity" ~num_vars ~planted clauses

@@ -1,0 +1,23 @@
+(** par*-style instances: CNF-ized XOR chains.
+
+    The DIMACS [par8-*] / [par32-*] family encodes parity learning —
+    long chains of XOR constraints.  We regenerate the structural
+    character: overlapping ternary XOR constraints along a chain
+    (tree-like interaction graph, as in the minimized "-c" instances),
+    each contributing its four CNF clauses, with right-hand sides read
+    off a planted assignment so the instance is satisfiable, padded to
+    the exact clause count.
+
+    Strict XOR encodings admit no enabling-EC solution (flipping any
+    single variable of a satisfied parity constraint breaks it), while
+    the DIMACS par*-c originals — minimized forms full of helper
+    equivalences — do.  To preserve that property, clauses the planted
+    assignment only 1-satisfies receive one literal from a small pool
+    of relaxer variables (planted true), softening the chains exactly
+    where rigidity would make §5's constraints infeasible. *)
+
+val generate :
+  seed:int -> num_vars:int -> num_clauses:int ->
+  Ec_cnf.Formula.t * Ec_cnf.Assignment.t
+(** @raise Invalid_argument if fewer than 3 variables or the clause
+    budget cannot hold the minimal chain. *)

@@ -1,0 +1,10 @@
+let generate ?(k = 3) ~seed ~num_vars ~num_clauses () =
+  if num_vars < k then invalid_arg "Random_ksat.generate: num_vars < k";
+  let rng = Ec_util.Rng.create seed in
+  let planted = Padding.random_planted rng num_vars in
+  let rec clause () =
+    let c = Ec_cnf.Change.random_clause rng ~num_vars ~width:k in
+    if Ec_cnf.Assignment.clause_sat_count planted c >= 2 then c else clause ()
+  in
+  let clauses = List.init num_clauses (fun _ -> clause ()) in
+  Padding.finish ~name:"random_ksat" ~num_vars ~planted clauses

@@ -1,0 +1,13 @@
+(** f*-style instances: uniform random k-SAT with a planted solution.
+
+    The DIMACS [f600] instance is random 3-SAT at the satisfiable edge
+    of the phase transition (ratio 4.25).  We draw uniform width-k
+    clauses, rejecting those the planted assignment does not
+    2-satisfy: density and guaranteed satisfiability are preserved,
+    and the planted point doubles as an enabling-EC witness (see
+    DESIGN.md §4 on this substitution). *)
+
+val generate :
+  ?k:int -> seed:int -> num_vars:int -> num_clauses:int -> unit ->
+  Ec_cnf.Formula.t * Ec_cnf.Assignment.t
+(** Default [k = 3]. *)

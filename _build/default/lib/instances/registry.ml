@@ -1,0 +1,100 @@
+type family =
+  | Parity
+  | Inductive
+  | Jnh
+  | Random3sat
+  | Coloring of { nodes : int; colors : int }
+
+type tier = Exact | Heuristic
+
+type spec = {
+  name : string;
+  family : family;
+  num_vars : int;
+  num_clauses : int;
+  tier : tier;
+  seed : int;
+}
+
+let mk name family num_vars num_clauses tier seed =
+  { name; family; num_vars; num_clauses; tier; seed }
+
+let paper_suite =
+  [ mk "par8-1-c" Parity 64 254 Exact 1001;
+    mk "ii8a1" Inductive 66 186 Exact 1002;
+    mk "par8-3-c" Parity 75 298 Exact 1003;
+    mk "jnh201" Jnh 100 800 Exact 1004;
+    mk "jnh1" Jnh 100 850 Exact 1005;
+    mk "ii8a2" Inductive 180 800 Exact 1006;
+    mk "ii8b2" Inductive 576 4088 Exact 1007;
+    mk "f600" Random3sat 600 2550 Exact 1008;
+    mk "par32-5-c" Parity 1339 5350 Heuristic 1009;
+    mk "ii16a1" Inductive 1650 19368 Heuristic 1010;
+    mk "par32-5" Parity 3176 10325 Heuristic 1011;
+    mk "g250.15" (Coloring { nodes = 250; colors = 15 }) 3750 233965 Heuristic 1012;
+    mk "g250.29" (Coloring { nodes = 250; colors = 29 }) 7250 454622 Heuristic 1013 ]
+
+let small_suite = List.filter (fun s -> s.tier = Exact) paper_suite
+
+let large_suite = List.filter (fun s -> s.tier = Heuristic) paper_suite
+
+let find name =
+  match List.find_opt (fun s -> s.name = name) paper_suite with
+  | Some s -> s
+  | None -> raise Not_found
+
+let scale factor spec =
+  if factor >= 1.0 then spec
+  else
+    let scaled_int lo x = max lo (int_of_float (float_of_int x *. factor)) in
+    match spec.family with
+    | Coloring { nodes; colors } ->
+      (* Shrink the graph; keep the palette.  Edge count follows from
+         the clause budget, so rebuild it consistently.  Density is
+         capped at average degree [colors - 2]: tiny graphs at the
+         original super-critical degree/colors ratio fall into a regime
+         the 2002-style solvers cannot touch at any scale, which would
+         say nothing about the full-size instance. *)
+      let nodes' = scaled_int 12 nodes in
+      let edges = (spec.num_clauses - nodes) / colors in
+      let scaled_edges = int_of_float (float_of_int edges *. factor *. factor) in
+      let degree_cap = nodes' * (colors - 2) / 2 in
+      let edges' = max nodes' (min scaled_edges degree_cap) in
+      { spec with
+        name = spec.name ^ Printf.sprintf "@%.2f" factor;
+        family = Coloring { nodes = nodes'; colors };
+        num_vars = nodes' * colors;
+        num_clauses = nodes' + (edges' * colors) }
+    | Parity | Inductive | Jnh | Random3sat ->
+      let num_vars = scaled_int 20 spec.num_vars in
+      let ratio = float_of_int spec.num_clauses /. float_of_int spec.num_vars in
+      { spec with
+        name = spec.name ^ Printf.sprintf "@%.2f" factor;
+        num_vars;
+        num_clauses = max num_vars (int_of_float (float_of_int num_vars *. ratio)) }
+
+type instance = {
+  spec : spec;
+  formula : Ec_cnf.Formula.t;
+  planted : Ec_cnf.Assignment.t;
+}
+
+let build spec =
+  let formula, planted =
+    match spec.family with
+    | Parity ->
+      Parity.generate ~seed:spec.seed ~num_vars:spec.num_vars ~num_clauses:spec.num_clauses
+    | Inductive ->
+      Inductive.generate ~seed:spec.seed ~num_vars:spec.num_vars
+        ~num_clauses:spec.num_clauses
+    | Jnh ->
+      Jnh.generate ~seed:spec.seed ~num_vars:spec.num_vars ~num_clauses:spec.num_clauses
+    | Random3sat ->
+      Random_ksat.generate ~seed:spec.seed ~num_vars:spec.num_vars
+        ~num_clauses:spec.num_clauses ()
+    | Coloring { nodes; colors } ->
+      Coloring.generate ~seed:spec.seed ~nodes ~colors ~num_clauses:spec.num_clauses
+  in
+  assert (Ec_cnf.Formula.num_vars formula = spec.num_vars);
+  assert (Ec_cnf.Formula.num_clauses formula = spec.num_clauses);
+  { spec; formula; planted }

@@ -1,0 +1,63 @@
+(** The paper's benchmark suite, regenerated.
+
+    Thirteen DIMACS instances appear in Tables 1–3: eight "small"
+    instances solved exactly and five "large" ones bootstrapped by the
+    heuristic solver.  [paper_suite] lists them with the exact
+    variable/clause counts of the tables; [build] materializes one as a
+    CNF formula with a planted satisfying assignment (see DESIGN.md §4
+    for the substitution rationale).
+
+    Scaled variants ([scale]) shrink an instance while preserving its
+    family structure and clause/variable ratio — the bench harness's
+    fast default. *)
+
+type family =
+  | Parity
+  | Inductive
+  | Jnh
+  | Random3sat
+  | Coloring of { nodes : int; colors : int }
+
+type tier =
+  | Exact      (** top of the tables: solved with the exact solver *)
+  | Heuristic  (** bottom: initial solution from the heuristic solver *)
+
+type spec = {
+  name : string;
+  family : family;
+  num_vars : int;
+  num_clauses : int;
+  tier : tier;
+  seed : int;
+}
+
+val paper_suite : spec list
+(** All 13 instances, in table order. *)
+
+val small_suite : spec list
+(** The 8 [Exact]-tier instances. *)
+
+val large_suite : spec list
+(** The 5 [Heuristic]-tier instances. *)
+
+val find : string -> spec
+(** Look up by instance name.
+    @raise Not_found for unknown names. *)
+
+val scale : float -> spec -> spec
+(** [scale 0.25 spec] shrinks variables and clauses by the factor
+    (keeping at least a workable minimum, preserving family
+    parameters' consistency).  Scaled coloring instances additionally
+    cap the average degree below the palette size — the full-size
+    degree/colors ratio is super-critical and tiny graphs at that
+    ratio are uninformative cliff instances.  [scale 1.0] is the
+    identity. *)
+
+type instance = {
+  spec : spec;
+  formula : Ec_cnf.Formula.t;
+  planted : Ec_cnf.Assignment.t;
+}
+
+val build : spec -> instance
+(** Deterministic in [spec.seed]. *)

@@ -1,0 +1,1 @@
+lib/sat/cardinality.ml: Array Ec_cnf List

@@ -1,0 +1,1 @@
+lib/sat/cdcl.ml: Array Ec_cnf Ec_util Float Int List Outcome

@@ -1,0 +1,1 @@
+lib/sat/cdcl.mli: Ec_cnf Outcome

@@ -1,0 +1,1 @@
+lib/sat/incremental.ml: Cdcl

@@ -1,0 +1,1 @@
+lib/sat/incremental.mli: Cdcl Ec_cnf Outcome

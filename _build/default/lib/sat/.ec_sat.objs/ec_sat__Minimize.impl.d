@@ -1,0 +1,1 @@
+lib/sat/minimize.ml: Array Ec_cnf Int List

@@ -1,0 +1,1 @@
+lib/sat/minimize.mli: Ec_cnf

@@ -1,0 +1,1 @@
+lib/sat/outcome.ml: Ec_cnf

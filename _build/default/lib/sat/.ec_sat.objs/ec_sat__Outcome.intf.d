@@ -1,0 +1,1 @@
+lib/sat/outcome.mli: Ec_cnf

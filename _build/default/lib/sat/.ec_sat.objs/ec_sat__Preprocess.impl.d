@@ -1,0 +1,1 @@
+lib/sat/preprocess.ml: Array Cdcl Ec_cnf Hashtbl Int List Outcome

@@ -1,0 +1,1 @@
+lib/sat/preprocess.mli: Cdcl Ec_cnf Outcome

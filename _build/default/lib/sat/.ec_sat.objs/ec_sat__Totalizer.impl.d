@@ -1,0 +1,1 @@
+lib/sat/totalizer.ml: Array Ec_cnf List

@@ -1,0 +1,1 @@
+lib/sat/totalizer.mli: Ec_cnf

@@ -1,0 +1,24 @@
+(** CNF cardinality constraints (sequential-counter encoding).
+
+    Preserving EC at CDCL scale needs "at most k of these literals are
+    true" as clauses: the optimal preservation count is then found by
+    searching over k.  The sequential counter (Sinz 2005) is
+    arc-consistent under unit propagation and linear in [n·k]. *)
+
+type encoded = {
+  clauses : Ec_cnf.Clause.t list;
+  next_var : int;  (** first variable id not used by the encoding *)
+}
+
+val at_most : next_var:int -> Ec_cnf.Lit.t list -> int -> encoded
+(** [at_most ~next_var lits k] returns clauses over the input literals
+    and fresh auxiliary variables [next_var, ...] enforcing that at
+    most [k] of [lits] are true.
+    @raise Invalid_argument if [k < 0] or [next_var] collides with a
+    literal's variable. *)
+
+val at_least : next_var:int -> Ec_cnf.Lit.t list -> int -> encoded
+(** At least [k] true, via [at_most] on the negated literals. *)
+
+val exactly : next_var:int -> Ec_cnf.Lit.t list -> int -> encoded
+(** Conjunction of {!at_most} and {!at_least}. *)

@@ -1,0 +1,68 @@
+(** Conflict-driven clause-learning SAT solver.
+
+    The scalable backend of the reproduction (the paper's large
+    instances run through it).  Standard modern architecture:
+
+    - two-watched-literal propagation,
+    - first-UIP conflict analysis with learnt-clause minimization,
+    - exponential VSIDS branching with phase saving,
+    - Luby-sequence restarts,
+    - learnt-database reduction ranked by literal-block distance,
+    - incremental solving under assumptions.
+
+    Phase saving doubles as a cheap engineering-change device: seeding
+    the saved phases with a previous solution biases the solver toward
+    nearby models.  The [phase_hint] option exposes that, and the bench
+    harness ablates it against the paper's optimal preserving EC. *)
+
+type options = {
+  var_decay : float;        (** VSIDS decay, e.g. 0.95 *)
+  restart_base : int;       (** conflicts per Luby unit, e.g. 100 *)
+  max_conflicts : int option; (** budget; [None] = run to completion *)
+  phase_hint : Ec_cnf.Assignment.t option;
+      (** initial saved phases; DC variables default to false *)
+  seed : int;               (** randomizes initial variable order slightly *)
+}
+
+val default_options : options
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_clauses : int;
+  deleted_clauses : int;
+}
+
+val solve :
+  ?options:options -> ?assumptions:Ec_cnf.Lit.t list -> Ec_cnf.Formula.t ->
+  Outcome.t * stats
+(** Satisfiability of the formula under the assumptions.  [Sat]
+    carries a total assignment over the formula's variables.  [Unsat]
+    under assumptions means no model extends them (the formula itself
+    may be satisfiable). *)
+
+val solve_formula :
+  ?options:options -> Ec_cnf.Formula.t -> Outcome.t
+(** {!solve} without assumptions, discarding statistics. *)
+
+(** Incremental sessions: keep learnt clauses, activities and phases
+    across clause additions — engineering change at the solver level.
+    {!Incremental} is the public face; this module lives here because
+    it shares the solver's internals. *)
+module Session : sig
+  type t
+
+  val create : ?options:options -> Ec_cnf.Formula.t -> t
+
+  val num_vars : t -> int
+
+  val add_clause : t -> Ec_cnf.Clause.t -> unit
+
+  val add_clauses : t -> Ec_cnf.Clause.t list -> unit
+
+  val solve : ?assumptions:Ec_cnf.Lit.t list -> t -> Outcome.t
+
+  val solve_count : t -> int
+end

@@ -1,0 +1,104 @@
+type options = { node_limit : int option }
+
+let default_options = { node_limit = None }
+
+exception Budget
+
+(* Simplified formula view: clauses as literal lists, absent clauses
+   satisfied.  Assignments accumulate in an association stack. *)
+let solve ?(options = default_options) formula =
+  let budget = ref (match options.node_limit with Some n -> n | None -> max_int) in
+  let module A = Ec_cnf.Assignment in
+  let module C = Ec_cnf.Clause in
+  let n = Ec_cnf.Formula.num_vars formula in
+  let initial =
+    Ec_cnf.Formula.fold (fun acc c -> Array.to_list (C.lits c) :: acc) [] formula
+  in
+  (* assign l clauses: remove satisfied clauses, shrink others. None on
+     empty clause. *)
+  let assign l clauses =
+    let rec go acc = function
+      | [] -> Some acc
+      | c :: rest ->
+        if List.exists (Ec_cnf.Lit.equal l) c then go acc rest
+        else begin
+          let c' = List.filter (fun x -> not (Ec_cnf.Lit.equal x (Ec_cnf.Lit.negate l))) c in
+          match c' with [] -> None | _ -> go (c' :: acc) rest
+        end
+    in
+    go [] clauses
+  in
+  let rec unit_literal = function
+    | [] -> None
+    | [ l ] :: _ -> Some l
+    | _ :: rest -> unit_literal rest
+  in
+  let pure_literal clauses =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun l ->
+            let v = Ec_cnf.Lit.var l in
+            let pos, neg = try Hashtbl.find tbl v with Not_found -> (false, false) in
+            let entry = if Ec_cnf.Lit.is_positive l then (true, neg) else (pos, true) in
+            Hashtbl.replace tbl v entry)
+          c)
+      clauses;
+    Hashtbl.fold
+      (fun v (pos, neg) acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if pos && not neg then Some (Ec_cnf.Lit.make v true)
+          else if neg && not pos then Some (Ec_cnf.Lit.make v false)
+          else None)
+      tbl None
+  in
+  let rec search clauses trail =
+    decr budget;
+    if !budget < 0 then raise Budget;
+    match clauses with
+    | [] -> Some trail
+    | _ -> (
+      match unit_literal clauses with
+      | Some l -> (
+        match assign l clauses with
+        | None -> None
+        | Some clauses' -> search clauses' (l :: trail))
+      | None -> (
+        match pure_literal clauses with
+        | Some l -> (
+          match assign l clauses with
+          | None -> None (* cannot happen for a pure literal *)
+          | Some clauses' -> search clauses' (l :: trail))
+        | None ->
+          (* Branch on the first literal of the first clause. *)
+          let l =
+            match clauses with
+            | (l :: _) :: _ -> l
+            | [] :: _ | [] -> assert false
+          in
+          let try_lit lit =
+            match assign lit clauses with
+            | None -> None
+            | Some clauses' -> search clauses' (lit :: trail)
+          in
+          (match try_lit l with
+          | Some _ as r -> r
+          | None -> try_lit (Ec_cnf.Lit.negate l))))
+  in
+  if Ec_cnf.Formula.has_empty_clause formula then Outcome.Unsat
+  else
+    match search initial [] with
+    | Some trail ->
+      let a =
+        List.fold_left
+          (fun a l ->
+            A.set a (Ec_cnf.Lit.var l)
+              (if Ec_cnf.Lit.is_positive l then A.True else A.False))
+          (A.make n) trail
+      in
+      Outcome.Sat a
+    | None -> Outcome.Unsat
+    | exception Budget -> Outcome.Unknown

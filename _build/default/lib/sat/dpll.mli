@@ -1,0 +1,17 @@
+(** Reference DPLL solver.
+
+    A deliberately simple chronological-backtracking solver with unit
+    propagation and pure-literal elimination.  It exists to cross-check
+    the CDCL engine and the ILP path on small instances — three
+    independent implementations answering the same satisfiability
+    questions is the backbone of the test suite. *)
+
+type options = {
+  node_limit : int option;
+}
+
+val default_options : options
+
+val solve : ?options:options -> Ec_cnf.Formula.t -> Outcome.t
+(** Total assignments for variables the search touched; variables never
+    constrained come back as DC. *)

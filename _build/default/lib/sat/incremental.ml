@@ -1,0 +1,13 @@
+type t = Cdcl.Session.t
+
+let create = Cdcl.Session.create
+
+let num_vars = Cdcl.Session.num_vars
+
+let add_clause = Cdcl.Session.add_clause
+
+let add_clauses = Cdcl.Session.add_clauses
+
+let solve = Cdcl.Session.solve
+
+let solve_count = Cdcl.Session.solve_count

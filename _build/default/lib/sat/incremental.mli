@@ -1,0 +1,34 @@
+(** Incremental CDCL sessions (facade over {!Cdcl.Session}).
+
+    Engineering change at the solver level: a session keeps the CDCL
+    solver's state — learnt clauses, variable activities, saved
+    phases — across a stream of clause additions, so re-solving after
+    a change starts from everything the previous solves discovered.
+    Clause addition only strengthens the formula, so retained learnt
+    clauses remain implied and the session stays sound; clause
+    {e removal} invalidates learnts, which is exactly why the paper's
+    fast-EC path (re-solve a fresh cone) exists — the two mechanisms
+    are complementary, and the bench harness compares them.
+
+    Variables may grow: {!add_clause} accepts literals above the
+    current count and extends the session (with capacity headroom; an
+    occasional internal rebuild is transparent). *)
+
+type t
+
+val create : ?options:Cdcl.options -> Ec_cnf.Formula.t -> t
+
+val num_vars : t -> int
+
+val add_clause : t -> Ec_cnf.Clause.t -> unit
+(** Post one clause; the session backtracks to its root level first. *)
+
+val add_clauses : t -> Ec_cnf.Clause.t list -> unit
+
+val solve : ?assumptions:Ec_cnf.Lit.t list -> t -> Outcome.t
+(** Satisfiability of everything posted so far, under assumptions.
+    After [Unsat] (without assumptions) the session is permanently
+    unsatisfiable and keeps answering [Unsat]. *)
+
+val solve_count : t -> int
+(** Number of [solve] calls so far (instrumentation). *)

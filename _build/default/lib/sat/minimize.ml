@@ -1,0 +1,43 @@
+type order = Ascending_vars | Fewest_occurrences_first
+
+let recover_dc ?(order = Fewest_occurrences_first) f a =
+  let n = Ec_cnf.Formula.num_vars f in
+  let nclauses = Ec_cnf.Formula.num_clauses f in
+  let sat_count = Array.make nclauses 0 in
+  Ec_cnf.Formula.iteri
+    (fun i c -> sat_count.(i) <- Ec_cnf.Assignment.clause_sat_count a c)
+    f;
+  let vars = List.filter (fun v -> v <= n) (Ec_cnf.Assignment.assigned_vars a) in
+  let vars =
+    match order with
+    | Ascending_vars -> vars
+    | Fewest_occurrences_first ->
+      let occ v = List.length (Ec_cnf.Formula.var_occurrences f v) in
+      List.stable_sort (fun v w -> Int.compare (occ v) (occ w)) vars
+  in
+  let current = ref a in
+  let release v =
+    (* Clauses whose satisfaction depends on v's current value. *)
+    let true_lit =
+      match Ec_cnf.Assignment.value !current v with
+      | Ec_cnf.Assignment.True -> Some v
+      | Ec_cnf.Assignment.False -> Some (-v)
+      | Ec_cnf.Assignment.Dc -> None
+    in
+    match true_lit with
+    | None -> ()
+    | Some l ->
+      let supported = Ec_cnf.Formula.occurrences f l in
+      if List.for_all (fun i -> sat_count.(i) >= 2) supported then begin
+        List.iter (fun i -> sat_count.(i) <- sat_count.(i) - 1) supported;
+        current := Ec_cnf.Assignment.set !current v Ec_cnf.Assignment.Dc
+      end
+  in
+  List.iter release vars;
+  assert ((not (Ec_cnf.Assignment.satisfies a f)) || Ec_cnf.Assignment.satisfies !current f);
+  !current
+
+let dc_gain f a =
+  let before = Ec_cnf.Assignment.dc_count a in
+  let after = Ec_cnf.Assignment.dc_count (recover_dc f a) in
+  after - before

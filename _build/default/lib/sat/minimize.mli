@@ -1,0 +1,22 @@
+(** Solution minimization: don't-care recovery.
+
+    Fast EC (§6) wants to "recover as many DC variables from the
+    initial solution as possible" — an assigned variable can be
+    released to DC when every clause its current value satisfies is
+    also satisfied by some other literal.  Releasing one variable can
+    block or unblock others, so this is a greedy pass over a chosen
+    order. *)
+
+type order =
+  | Ascending_vars            (** v1, v2, ... *)
+  | Fewest_occurrences_first  (** variables in few clauses released first *)
+
+val recover_dc : ?order:order -> Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> Ec_cnf.Assignment.t
+(** Greedily release variables to DC while the assignment keeps
+    satisfying the formula.  The input need not be total; already-DC
+    variables are left alone.  The result satisfies the formula
+    whenever the input did (asserted).  Default order
+    [Fewest_occurrences_first]. *)
+
+val dc_gain : Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> int
+(** Number of additional DCs {!recover_dc} finds, without committing. *)

@@ -1,0 +1,11 @@
+type t =
+  | Sat of Ec_cnf.Assignment.t
+  | Unsat
+  | Unknown
+
+let is_sat = function Sat _ -> true | Unsat | Unknown -> false
+
+let to_string = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown -> "unknown"

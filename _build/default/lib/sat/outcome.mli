@@ -1,0 +1,10 @@
+(** Shared result type of the SAT engines. *)
+
+type t =
+  | Sat of Ec_cnf.Assignment.t
+  | Unsat
+  | Unknown  (** budget exhausted *)
+
+val is_sat : t -> bool
+
+val to_string : t -> string

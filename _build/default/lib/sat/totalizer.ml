@@ -1,0 +1,93 @@
+type encoded = {
+  clauses : Ec_cnf.Clause.t list;
+  next_var : int;
+  outputs : Ec_cnf.Lit.t list;
+}
+
+(* Merge two unary counters a (counts na inputs) and b (nb inputs)
+   into fresh outputs r of length na+nb:
+     a_i ∧ b_j → r_{i+j}         (completeness upward)
+     ¬a_{i+1} ∧ ¬b_{j+1} → ¬r_{i+j+1}   (soundness downward)
+   with the conventions a_0 = true, a_{na+1} = false. *)
+let merge ~fresh a b acc =
+  let na = Array.length a and nb = Array.length b in
+  let n = na + nb in
+  let r = Array.init n (fun _ -> fresh ()) in
+  let clauses = ref acc in
+  let add lits = clauses := Ec_cnf.Clause.make lits :: !clauses in
+  for i = 0 to na do
+    for j = 0 to nb do
+      (* a_i ∧ b_j → r_{i+j} for i+j >= 1 *)
+      if i + j >= 1 && i + j <= n then begin
+        let premise = ref [] in
+        if i >= 1 then premise := Ec_cnf.Lit.negate a.(i - 1) :: !premise;
+        if j >= 1 then premise := Ec_cnf.Lit.negate b.(j - 1) :: !premise;
+        add (r.(i + j - 1) :: !premise)
+      end;
+      (* ¬a_{i+1} ∧ ¬b_{j+1} → ¬r_{i+j+1} for i+j+1 <= n *)
+      if i + j + 1 <= n then begin
+        let premise = ref [] in
+        if i < na then premise := a.(i) :: !premise;
+        if j < nb then premise := b.(j) :: !premise;
+        add (Ec_cnf.Lit.negate r.(i + j) :: !premise)
+      end
+    done
+  done;
+  (r, !clauses)
+
+let build ~next_var lits =
+  if lits = [] then invalid_arg "Totalizer.build: empty input";
+  List.iter
+    (fun l ->
+      if Ec_cnf.Lit.var l >= next_var then
+        invalid_arg "Totalizer.build: next_var collides with input literals")
+    lits;
+  let counter = ref next_var in
+  let fresh () =
+    let v = !counter in
+    incr counter;
+    Ec_cnf.Lit.make v true
+  in
+  let rec tree lits acc =
+    match lits with
+    | [ l ] -> ([| l |], acc)
+    | _ ->
+      let n = List.length lits in
+      let left = List.filteri (fun i _ -> i < n / 2) lits in
+      let right = List.filteri (fun i _ -> i >= n / 2) lits in
+      let a, acc = tree left acc in
+      let b, acc = tree right acc in
+      merge ~fresh a b acc
+  in
+  let outputs, clauses = tree lits [] in
+  { clauses = List.rev clauses; next_var = !counter; outputs = Array.to_list outputs }
+
+let at_most ~next_var lits k =
+  if k < 0 then invalid_arg "Totalizer.at_most: negative bound";
+  let n = List.length lits in
+  if n <= k then { clauses = []; next_var; outputs = [] }
+  else if k = 0 then
+    { clauses = List.map (fun l -> Ec_cnf.Clause.make [ Ec_cnf.Lit.negate l ]) lits;
+      next_var;
+      outputs = [] }
+  else begin
+    let enc = build ~next_var lits in
+    let bound =
+      List.filteri (fun i _ -> i >= k) enc.outputs
+      |> List.map (fun o -> Ec_cnf.Clause.make [ Ec_cnf.Lit.negate o ])
+    in
+    { enc with clauses = enc.clauses @ bound }
+  end
+
+let at_least ~next_var lits k =
+  if k <= 0 then { clauses = []; next_var; outputs = [] }
+  else if k > List.length lits then
+    { clauses = [ Ec_cnf.Clause.make [] ]; next_var; outputs = [] }
+  else begin
+    let enc = build ~next_var lits in
+    let bound =
+      List.filteri (fun i _ -> i < k) enc.outputs
+      |> List.map (fun o -> Ec_cnf.Clause.make [ o ])
+    in
+    { enc with clauses = enc.clauses @ bound }
+  end

@@ -1,0 +1,28 @@
+(** Totalizer cardinality encoding (Bailleux–Boufkhad 2003).
+
+    The alternative to {!Cardinality}'s sequential counter: a balanced
+    tree of unary adders.  Same interface, different size/propagation
+    trade-off — O(n log n · k) clauses but incremental-strengthening
+    friendly (the output bits [o_1 >= o_2 >= ...] count the true
+    inputs, so tightening the bound is one more unit clause).  The
+    bench harness compares the two inside the preserving-EC binary
+    search. *)
+
+type encoded = {
+  clauses : Ec_cnf.Clause.t list;
+  next_var : int;
+  outputs : Ec_cnf.Lit.t list;
+      (** unary counter outputs, sorted: [List.nth outputs (k-1)] is
+          true whenever at least [k] inputs are true *)
+}
+
+val build : next_var:int -> Ec_cnf.Lit.t list -> encoded
+(** The counting tree alone, no bound.
+    @raise Invalid_argument if [next_var] collides with an input
+    variable or the input list is empty. *)
+
+val at_most : next_var:int -> Ec_cnf.Lit.t list -> int -> encoded
+(** [build] plus unit clauses forcing outputs [k+1 ..] false. *)
+
+val at_least : next_var:int -> Ec_cnf.Lit.t list -> int -> encoded
+(** [build] plus unit clauses forcing outputs [1 .. k] true. *)

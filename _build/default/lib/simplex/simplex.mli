@@ -1,0 +1,37 @@
+(** Primal simplex over a dense tableau.
+
+    This is the LP engine under the branch-and-bound ILP solver — the
+    role CPLEX's LP relaxation plays in the paper.  Two-phase method:
+    Phase I drives artificial variables out to find a basic feasible
+    point, Phase II optimizes.  Dantzig pricing with an automatic
+    switch to Bland's rule (which cannot cycle) after an iteration
+    threshold.
+
+    Problems are given in the canonical form
+    [max c·x  subject to  A·x <= b, x >= 0]; {!solve_model} converts a
+    continuous {!Ec_ilp.Model.t} (equalities, >= rows, variable upper
+    bounds) into that form first. *)
+
+type result =
+  | Optimal of { point : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve_canonical :
+  a:float array array -> b:float array -> c:float array -> result
+(** [solve_canonical ~a ~b ~c] solves [max c·x, a·x <= b, x >= 0].
+    Rows of [a] must all have length [Array.length c]; [b] matches the
+    row count.  Negative entries of [b] are handled by Phase I.
+    @raise Invalid_argument on dimension mismatches. *)
+
+val solve_model : Ec_ilp.Model.t -> Ec_ilp.Solution.t
+(** LP-solve a model, treating [Binary] variables as continuous in
+    [0, 1] (callers wanting the relaxation of an ILP can pass the model
+    directly).  Lower bounds must be 0 — the encodings in this
+    reproduction never need shifted variables.
+    Minimization objectives are negated internally.
+    @raise Invalid_argument on a negative lower bound. *)
+
+val iterations_performed : unit -> int
+(** Total pivots since program start; instrumentation for the bench
+    harness's ablations. *)

@@ -1,0 +1,1 @@
+lib/util/idx_heap.ml: Array

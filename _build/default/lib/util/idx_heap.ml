@@ -1,0 +1,79 @@
+type t = {
+  heap : int array;     (* heap.(i) = element at heap position i *)
+  pos : int array;      (* pos.(e) = heap position of e, or -1 *)
+  prio : float array;
+  mutable n : int;
+}
+
+let create cap =
+  { heap = Array.make (max cap 1) 0;
+    pos = Array.make (max cap 1) (-1);
+    prio = Array.make (max cap 1) 0.0;
+    n = 0 }
+
+let size t = t.n
+
+let is_empty t = t.n = 0
+
+let mem t e = t.pos.(e) >= 0
+
+let swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.pos.(b) <- i;
+  t.pos.(a) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(t.heap.(i)) > t.prio.(t.heap.(parent)) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < t.n && t.prio.(t.heap.(l)) > t.prio.(t.heap.(!largest)) then largest := l;
+  if r < t.n && t.prio.(t.heap.(r)) > t.prio.(t.heap.(!largest)) then largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let insert t e =
+  if e < 0 || e >= Array.length t.pos then invalid_arg "Idx_heap.insert";
+  if t.pos.(e) < 0 then begin
+    t.heap.(t.n) <- e;
+    t.pos.(e) <- t.n;
+    t.n <- t.n + 1;
+    sift_up t (t.n - 1)
+  end
+
+let pop_max t =
+  if t.n = 0 then raise Not_found;
+  let top = t.heap.(0) in
+  t.n <- t.n - 1;
+  if t.n > 0 then begin
+    let last = t.heap.(t.n) in
+    t.heap.(0) <- last;
+    t.pos.(last) <- 0;
+    sift_down t 0
+  end;
+  t.pos.(top) <- -1;
+  top
+
+let priority t e = t.prio.(e)
+
+let set_priority t e p =
+  let old = t.prio.(e) in
+  t.prio.(e) <- p;
+  let i = t.pos.(e) in
+  if i >= 0 then if p > old then sift_up t i else sift_down t i
+
+let rescale t factor =
+  for e = 0 to Array.length t.prio - 1 do
+    t.prio.(e) <- t.prio.(e) *. factor
+  done

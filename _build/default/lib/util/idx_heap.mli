@@ -1,0 +1,34 @@
+(** Indexed binary max-heap over the integers [0 .. n-1].
+
+    Priorities are floats held inside the heap; elements can be
+    re-inserted and their priorities bumped while in the heap (the
+    operation VSIDS branching needs). *)
+
+type t
+
+val create : int -> t
+(** Heap over [0 .. n-1], initially empty, all priorities 0. *)
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+(** Is the element currently in the heap? *)
+
+val insert : t -> int -> unit
+(** Insert with its current priority; no-op if already present.
+    @raise Invalid_argument if out of range. *)
+
+val pop_max : t -> int
+(** Remove and return the element with the largest priority.
+    @raise Not_found on an empty heap. *)
+
+val priority : t -> int -> float
+
+val set_priority : t -> int -> float -> unit
+(** Update the priority whether or not the element is in the heap,
+    restoring the heap order if it is. *)
+
+val rescale : t -> float -> unit
+(** Multiply every priority by a factor (activity-rescaling). *)

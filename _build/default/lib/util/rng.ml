@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64 step: state += golden; z = mix(state). *)
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 low bits so Int64.to_int cannot wrap negative in OCaml's
+     63-bit native ints; modulo bias is negligible for the bounds used
+     here (< 2^40). *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) land max_int in
+  r mod bound
+
+let float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits53 *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample";
+  if 3 * k >= n then begin
+    (* Dense case: shuffle a full index array and take a prefix. *)
+    let arr = Array.init n (fun i -> i) in
+    shuffle t arr;
+    Array.to_list (Array.sub arr 0 k)
+  end else begin
+    (* Sparse case: rejection sampling into a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let rec draw acc remaining =
+      if remaining = 0 then acc
+      else
+        let x = int t n in
+        if Hashtbl.mem seen x then draw acc remaining
+        else begin
+          Hashtbl.add seen x ();
+          draw (x :: acc) (remaining - 1)
+        end
+    in
+    draw [] k
+  end

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All stochastic components of the reproduction (instance generators,
+    EC change injection, heuristic solver) draw from this generator so
+    that every experiment is replayable from a single seed.  The state
+    is explicit; no global mutable generator is used. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing)
+    the argument. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> int -> int -> int list
+(** [sample t k n] is [k] distinct values drawn uniformly from
+    [\[0, n)], in random order.
+    @raise Invalid_argument if [k > n] or [k < 0]. *)

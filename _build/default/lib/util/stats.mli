@@ -1,0 +1,23 @@
+(** Small descriptive statistics over float samples, used when the
+    harness reports averages and medians the way the paper's tables
+    do. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 on the empty list. *)
+
+val median : float list -> float
+(** Median (average of the two middle elements for even lengths);
+    0.0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0.0 on lists shorter than 2. *)
+
+val min_max : float list -> float * float
+(** @raise Invalid_argument on the empty list. *)
+
+val sum : float list -> float
+
+val geometric_mean : float list -> float
+(** Geometric mean of strictly positive samples; 0.0 on the empty
+    list.
+    @raise Invalid_argument if any sample is not positive. *)

@@ -1,0 +1,13 @@
+(** Wall-clock timing for the experiment harness. *)
+
+type t
+
+val start : unit -> t
+(** A stopwatch started now. *)
+
+val elapsed_s : t -> float
+(** Seconds of wall-clock time since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the
+    elapsed wall-clock seconds. *)

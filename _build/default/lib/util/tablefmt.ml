@@ -1,0 +1,60 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Cells cells -> measure cells | Separator -> ()) rows;
+  let aligns = Array.of_list (List.map snd t.headers) in
+  let line_of cells =
+    let padded = List.mapi (fun i c -> pad aligns.(i) widths.(i) c) cells in
+    String.concat "  " padded
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line_of (List.map fst t.headers));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      (match row with
+      | Cells cells -> Buffer.add_string buf (line_of cells)
+      | Separator -> Buffer.add_string buf rule);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_int = string_of_int

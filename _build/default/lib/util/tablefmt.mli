@@ -1,0 +1,25 @@
+(** Fixed-width text tables in the style of the paper's result
+    tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:(string * align) list -> t
+(** A table with the given column headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.
+    @raise Invalid_argument if the arity differs from the headers. *)
+
+val add_separator : t -> unit
+(** A horizontal rule, used before average/median summary rows. *)
+
+val render : t -> string
+(** The table as a string, columns padded, ready to print. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell with the given number of decimals
+    (default 2). *)
+
+val cell_int : int -> string

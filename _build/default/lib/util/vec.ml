@@ -1,0 +1,106 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 0) ~dummy () =
+  { data = (if capacity = 0 then [||] else Array.make capacity dummy);
+    len = 0;
+    dummy }
+
+let make n x = { data = Array.make (max n 1) x; len = n; dummy = x }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i name =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds [0,%d)" name i v.len)
+
+let get v i =
+  check v i "get";
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i "set";
+  Array.unsafe_set v.data i x
+
+let grow v =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else cap * 2 in
+  let data' = Array.make cap' v.dummy in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  let x = Array.unsafe_get v.data v.len in
+  Array.unsafe_set v.data v.len v.dummy;
+  x
+
+let top v =
+  if v.len = 0 then invalid_arg "Vec.top: empty";
+  Array.unsafe_get v.data (v.len - 1)
+
+let clear v =
+  Array.fill v.data 0 v.len v.dummy;
+  v.len <- 0
+
+let shrink v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.shrink";
+  Array.fill v.data n (v.len - n) v.dummy;
+  v.len <- n
+
+let swap_remove v i =
+  check v i "swap_remove";
+  let x = Array.unsafe_get v.data i in
+  v.len <- v.len - 1;
+  Array.unsafe_set v.data i (Array.unsafe_get v.data v.len);
+  Array.unsafe_set v.data v.len v.dummy;
+  x
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Array.unsafe_get v.data i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p (Array.unsafe_get v.data i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v =
+  let rec loop i = i >= v.len || (p (Array.unsafe_get v.data i) && loop (i + 1)) in
+  loop 0
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (Array.unsafe_get v.data i :: acc) in
+  loop (v.len - 1) []
+
+let of_list ~dummy xs =
+  let v = create ~capacity:(List.length xs) ~dummy () in
+  List.iter (push v) xs;
+  v
+
+let to_array v = Array.sub v.data 0 v.len
+
+let copy v = { data = Array.copy v.data; len = v.len; dummy = v.dummy }

@@ -1,0 +1,65 @@
+(** Growable arrays.
+
+    A thin dynamic-array layer used throughout the solvers for clause
+    databases, trails and watch lists.  Indices are checked in [get] /
+    [set]; the unchecked variants are deliberately not exposed. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector.  [dummy] fills unused
+    capacity slots; it is never observable through the interface. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] whose elements are all [x].
+    [x] doubles as the dummy. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** Append an element, growing the backing store as needed. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.
+    @raise Invalid_argument on an empty vector. *)
+
+val top : 'a t -> 'a
+(** Last element without removing it.
+    @raise Invalid_argument on an empty vector. *)
+
+val clear : 'a t -> unit
+(** Logical reset to length 0; capacity is retained. *)
+
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates [v] to its first [n] elements.
+    @raise Invalid_argument if [n] exceeds the current length. *)
+
+val swap_remove : 'a t -> int -> 'a
+(** Constant-time removal that moves the last element into the hole.
+    Returns the removed element.  Order is not preserved. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val of_list : dummy:'a -> 'a list -> 'a t
+
+val to_array : 'a t -> 'a array
+
+val copy : 'a t -> 'a t

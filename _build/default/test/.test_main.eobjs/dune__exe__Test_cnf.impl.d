@@ -1,0 +1,1 @@
+test/test_cnf.ml: Alcotest Ec_cnf Ec_sat Ec_util Format List QCheck QCheck_alcotest

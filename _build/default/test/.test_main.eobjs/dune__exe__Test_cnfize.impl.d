@@ -1,0 +1,1 @@
+test/test_cnfize.ml: Alcotest Array Ec_core Ec_ilp Ec_ilpsolver Ec_instances Ec_sat Fun List Option QCheck QCheck_alcotest

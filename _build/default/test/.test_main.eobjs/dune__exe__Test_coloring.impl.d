@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Array Ec_coloring Ec_ilp Ec_ilpsolver Ec_util Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ec_cnf Ec_core Ec_ilp Ec_ilpsolver Ec_sat Ec_util Fun List QCheck QCheck_alcotest

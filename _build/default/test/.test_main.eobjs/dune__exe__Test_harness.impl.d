@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ec_cnf Ec_core Ec_harness Ec_instances Ec_util List String

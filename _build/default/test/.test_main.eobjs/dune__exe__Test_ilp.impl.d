@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Ec_ilp List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ilpsolver.ml: Alcotest Array Ec_ilp Ec_ilpsolver List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Ec_cnf Ec_sat List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_instances.ml: Alcotest Ec_cnf Ec_core Ec_instances Ec_util List

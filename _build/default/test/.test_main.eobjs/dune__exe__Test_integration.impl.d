@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ec_cnf Ec_core Ec_instances Ec_sat Ec_util Filename List Printf QCheck QCheck_alcotest Sys

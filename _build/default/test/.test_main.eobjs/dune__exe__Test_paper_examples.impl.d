@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Ec_cnf Ec_core Ec_ilp Ec_ilpsolver Ec_sat List Printf

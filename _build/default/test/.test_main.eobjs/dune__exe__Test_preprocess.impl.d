@@ -1,0 +1,1 @@
+test/test_preprocess.ml: Alcotest Ec_cnf Ec_sat List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Ec_cnf Ec_sat

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Ec_cnf Ec_sat Ec_util Fun List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Ec_ilp Ec_simplex Float List QCheck QCheck_alcotest

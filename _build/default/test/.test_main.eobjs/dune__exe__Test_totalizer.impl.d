@@ -1,0 +1,1 @@
+test/test_totalizer.ml: Alcotest Ec_cnf Ec_sat Fun List Printf QCheck QCheck_alcotest

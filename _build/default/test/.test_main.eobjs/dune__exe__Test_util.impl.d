@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ec_util Gen Hashtbl List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_weighted_preserving.ml: Alcotest Ec_cnf Ec_core Ec_sat

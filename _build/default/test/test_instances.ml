@@ -1,0 +1,144 @@
+(* Tests for Ec_instances: every generator produces exactly-sized,
+   satisfiable, enabling-feasible instances; registry lookup and
+   scaling. *)
+
+let check = Alcotest.check
+
+module F = Ec_cnf.Formula
+module A = Ec_cnf.Assignment
+module R = Ec_instances.Registry
+
+(* All family invariants on one built instance. *)
+let check_instance (inst : R.instance) =
+  let f = inst.formula and planted = inst.planted in
+  check Alcotest.int (inst.spec.name ^ " vars") inst.spec.num_vars (F.num_vars f);
+  check Alcotest.int (inst.spec.name ^ " clauses") inst.spec.num_clauses (F.num_clauses f);
+  check Alcotest.bool (inst.spec.name ^ " planted satisfies") true (A.satisfies planted f);
+  (* the planted witness makes enabling EC feasible *)
+  check Alcotest.bool (inst.spec.name ^ " planted is enabled") true
+    (Ec_core.Enabling.verify f planted)
+
+let test_small_suite_builds () =
+  List.iter (fun spec -> check_instance (R.build spec)) R.small_suite
+
+let test_large_suite_scaled_builds () =
+  List.iter (fun spec -> check_instance (R.build (R.scale 0.1 spec))) R.large_suite
+
+let test_registry_find () =
+  let s = R.find "jnh1" in
+  check Alcotest.int "jnh1 vars" 100 s.R.num_vars;
+  check Alcotest.int "jnh1 clauses" 850 s.R.num_clauses;
+  check Alcotest.bool "exact tier" true (s.R.tier = R.Exact);
+  check Alcotest.bool "g250.29 heuristic tier" true
+    ((R.find "g250.29").R.tier = R.Heuristic);
+  (match R.find "nonexistent" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown instance must raise");
+  check Alcotest.int "13 instances" 13 (List.length R.paper_suite);
+  check Alcotest.int "8 exact" 8 (List.length R.small_suite);
+  check Alcotest.int "5 heuristic" 5 (List.length R.large_suite)
+
+let test_paper_sizes_match_tables () =
+  (* spot-check the table sizes the paper prints *)
+  List.iter
+    (fun (name, nv, nc) ->
+      let s = R.find name in
+      check Alcotest.int (name ^ " nv") nv s.R.num_vars;
+      check Alcotest.int (name ^ " nc") nc s.R.num_clauses)
+    [ ("par8-1-c", 64, 254); ("ii8a1", 66, 186); ("par8-3-c", 75, 298);
+      ("jnh201", 100, 800); ("jnh1", 100, 850); ("ii8a2", 180, 800);
+      ("ii8b2", 576, 4088); ("f600", 600, 2550); ("par32-5-c", 1339, 5350);
+      ("ii16a1", 1650, 19368); ("par32-5", 3176, 10325); ("g250.15", 3750, 233965);
+      ("g250.29", 7250, 454622) ]
+
+let test_scale_identity_and_shrink () =
+  let s = R.find "f600" in
+  check Alcotest.bool "scale 1.0 identity" true (R.scale 1.0 s = s);
+  let small = R.scale 0.1 s in
+  check Alcotest.bool "shrunk" true (small.R.num_vars < s.R.num_vars);
+  (* ratio approximately preserved *)
+  let ratio spec = float_of_int spec.R.num_clauses /. float_of_int spec.R.num_vars in
+  check Alcotest.bool "ratio close" true (abs_float (ratio small -. ratio s) < 0.5)
+
+let test_scale_coloring_consistent () =
+  let s = R.scale 0.1 (R.find "g250.15") in
+  (match s.R.family with
+  | R.Coloring { nodes; colors } ->
+    check Alcotest.int "vars = nodes*colors" (nodes * colors) s.R.num_vars;
+    check Alcotest.int "clauses = nodes + edges*colors" 0
+      ((s.R.num_clauses - nodes) mod colors)
+  | _ -> Alcotest.fail "family preserved");
+  check_instance (R.build s)
+
+let test_determinism () =
+  let spec = R.scale 0.2 (R.find "jnh201") in
+  let a = R.build spec and b = R.build spec in
+  check Alcotest.bool "same seed, same formula" true (F.equal a.R.formula b.R.formula);
+  let spec2 = { spec with R.seed = spec.R.seed + 1 } in
+  let c = R.build spec2 in
+  check Alcotest.bool "different seed differs" false (F.equal a.R.formula c.R.formula)
+
+let test_parity_structure () =
+  let f, planted = Ec_instances.Parity.generate ~seed:3 ~num_vars:30 ~num_clauses:120 in
+  check Alcotest.int "sizes" 120 (F.num_clauses f);
+  check Alcotest.bool "planted 2-satisfies all clauses" true
+    (let ok = ref true in
+     F.iteri (fun _ c -> if A.clause_sat_count planted c < 2 then ok := false) f;
+     !ok)
+
+let test_coloring_structure () =
+  let f, planted = Ec_instances.Coloring.generate ~seed:4 ~nodes:12 ~colors:6 ~num_clauses:(12 + (15 * 6)) in
+  check Alcotest.int "vars" 72 (F.num_vars f);
+  check Alcotest.bool "planted proper pair coloring" true (A.satisfies planted f);
+  Alcotest.check_raises "non-integer edges"
+    (Invalid_argument "Coloring.generate: num_clauses must be nodes + edges*colors")
+    (fun () -> ignore (Ec_instances.Coloring.generate ~seed:4 ~nodes:12 ~colors:6 ~num_clauses:99))
+
+let test_random_ksat_width () =
+  let f, _ = Ec_instances.Random_ksat.generate ~k:3 ~seed:5 ~num_vars:40 ~num_clauses:160 () in
+  F.iteri
+    (fun _ c -> check Alcotest.int "3-SAT width" 3 (Ec_cnf.Clause.size c))
+    f
+
+let test_generator_guards () =
+  Alcotest.check_raises "parity too few vars"
+    (Invalid_argument "Parity.generate: need >= 5 variables") (fun () ->
+      ignore (Ec_instances.Parity.generate ~seed:1 ~num_vars:3 ~num_clauses:20));
+  Alcotest.check_raises "ksat nv < k"
+    (Invalid_argument "Random_ksat.generate: num_vars < k") (fun () ->
+      ignore (Ec_instances.Random_ksat.generate ~k:3 ~seed:1 ~num_vars:2 ~num_clauses:4 ()));
+  Alcotest.check_raises "padding overflow"
+    (Invalid_argument "Padding.pad_to: core has 2 clauses, target 1") (fun () ->
+      let rng = Ec_util.Rng.create 1 in
+      let planted = Ec_instances.Padding.random_planted rng 4 in
+      ignore
+        (Ec_instances.Padding.pad_to rng ~planted ~num_vars:4 ~target:1
+           [ Ec_cnf.Clause.make [ 1 ]; Ec_cnf.Clause.make [ 2 ] ]))
+
+let test_padding_agreement () =
+  let rng = Ec_util.Rng.create 6 in
+  let planted = Ec_instances.Padding.random_planted rng 12 in
+  for _ = 1 to 50 do
+    let c = Ec_instances.Padding.anchored_clause rng ~planted ~num_vars:12 ~width:3 in
+    check Alcotest.bool "2-anchored" true (A.clause_sat_count planted c >= 2)
+  done;
+  for _ = 1 to 20 do
+    let c = Ec_instances.Padding.anchored_clause ~agree:1 rng ~planted ~num_vars:12 ~width:2 in
+    check Alcotest.bool "1-anchored" true (A.clause_sat_count planted c >= 1)
+  done
+
+let tests =
+  [ ( "instances.registry",
+      [ Alcotest.test_case "small suite builds + invariants" `Slow test_small_suite_builds;
+        Alcotest.test_case "large suite (scaled) builds" `Slow test_large_suite_scaled_builds;
+        Alcotest.test_case "find" `Quick test_registry_find;
+        Alcotest.test_case "paper table sizes" `Quick test_paper_sizes_match_tables;
+        Alcotest.test_case "scaling" `Quick test_scale_identity_and_shrink;
+        Alcotest.test_case "coloring scaling" `Quick test_scale_coloring_consistent;
+        Alcotest.test_case "determinism" `Quick test_determinism ] );
+    ( "instances.generators",
+      [ Alcotest.test_case "parity structure" `Quick test_parity_structure;
+        Alcotest.test_case "coloring structure" `Quick test_coloring_structure;
+        Alcotest.test_case "3-sat width" `Quick test_random_ksat_width;
+        Alcotest.test_case "guards" `Quick test_generator_guards;
+        Alcotest.test_case "padding anchoring" `Quick test_padding_agreement ] ) ]

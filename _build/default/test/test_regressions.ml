@@ -1,0 +1,103 @@
+(* Pinned regressions: the exact counterexamples that exposed bugs
+   during development, kept deterministic so they can never return.
+
+   R1 — CDCL declared SAT with every variable assigned without checking
+        assumptions that had not been re-decided after a restart or
+        level-0 propagation (sound model, wrong verdict under
+        assumptions).
+   R2 — an incremental session attached a clause whose two watched
+        literals were already false at level 0; watch lists only fire
+        on new enqueues, so the conflict was never seen and the session
+        answered SAT on an unsatisfiable accumulation.
+   R3 — the preprocessor eliminated a variable while a unit on it was
+        still queued (pending units are invisible to occurrence lists),
+        corrupting the resolvent set and reporting UNSAT on a
+        satisfiable formula. *)
+
+let check = Alcotest.check
+
+module F = Ec_cnf.Formula
+module C = Ec_cnf.Clause
+module A = Ec_cnf.Assignment
+module O = Ec_sat.Outcome
+
+(* R1: units fix v2, v4, ~v3; assumptions [1; -2] contradict the unit
+   (v2).  The solver fills the remaining variable by decision and used
+   to answer SAT before checking the never-decided assumption -2. *)
+let test_r1_assumptions_checked_at_full_assignment () =
+  let f = F.of_lists ~num_vars:4 [ [ 2; -3; 4 ]; [ 2 ]; [ 4 ]; [ -3 ] ] in
+  (match Ec_sat.Cdcl.solve ~assumptions:[ 1; -2 ] f with
+  | O.Unsat, _ -> ()
+  | O.Sat _, _ -> Alcotest.fail "assumption -2 contradicts the unit (v2)"
+  | O.Unknown, _ -> Alcotest.fail "no budget was set");
+  (* equivalence with posting the assumptions as units *)
+  let g = F.add_clauses f [ C.make [ 1 ]; C.make [ -2 ] ] in
+  check Alcotest.string "unit form agrees" "unsat"
+    (O.to_string (Ec_sat.Cdcl.solve_formula g))
+
+(* R2: after the first solve every literal of the added clause
+   (~v3 ~v5 ~v7) is already false at level 0; the session must rewind
+   propagation to catch it. *)
+let test_r2_session_sees_root_falsified_clause () =
+  let f = F.of_lists ~num_vars:7 [ [ 3 ]; [ 5 ]; [ 7 ] ] in
+  let s = Ec_sat.Incremental.create f in
+  check Alcotest.bool "initially sat" true (O.is_sat (Ec_sat.Incremental.solve s));
+  Ec_sat.Incremental.add_clause s (C.make [ -3; -5; -7 ]);
+  check Alcotest.string "falsified-at-root clause detected" "unsat"
+    (O.to_string (Ec_sat.Incremental.solve s))
+
+(* The same shape interleaved with growth and further additions. *)
+let test_r2_session_interleaved () =
+  let f = F.of_lists ~num_vars:4 [ [ 1 ]; [ 2 ] ] in
+  let s = Ec_sat.Incremental.create f in
+  ignore (Ec_sat.Incremental.solve s);
+  Ec_sat.Incremental.add_clause s (C.make [ 4 ]);
+  ignore (Ec_sat.Incremental.solve s);
+  Ec_sat.Incremental.add_clause s (C.make [ -1; -2; -4 ]);
+  check Alcotest.string "detected after growth" "unsat"
+    (O.to_string (Ec_sat.Incremental.solve s))
+
+(* R3: the original 16-clause counterexample, verbatim. *)
+let test_r3_preprocessor_unit_elimination_race () =
+  let f =
+    F.of_lists ~num_vars:8
+      [ [ -2; -4; 8 ]; [ -1; -5 ]; [ -1; -3; 5 ]; [ 6; -7 ]; [ -5; -8 ];
+        [ 1; -7; -8 ]; [ 1; 2; -6; -7 ]; [ 2; -3; -4; -8 ]; [ 6 ];
+        [ 3; -4; -6 ]; [ 3 ]; [ 1; 4; 5 ]; [ 3 ]; [ 2; 3; 4; -8 ]; [ -1; 2 ];
+        [ 1; -3; 7 ] ]
+  in
+  check Alcotest.bool "formula is satisfiable" true
+    (O.is_sat (Ec_sat.Cdcl.solve_formula f));
+  match Ec_sat.Preprocess.simplify f with
+  | `Unsat -> Alcotest.fail "preprocessor must not refute a satisfiable formula"
+  | `Simplified r -> (
+    match Ec_sat.Cdcl.solve_formula r.Ec_sat.Preprocess.formula with
+    | O.Sat a ->
+      check Alcotest.bool "lifted model satisfies the original" true
+        (A.satisfies (Ec_sat.Preprocess.reconstruct r a) f)
+    | O.Unsat | O.Unknown -> Alcotest.fail "simplified form stays satisfiable")
+
+(* R3 variant: pipeline answer must match plain CDCL on the same
+   instance. *)
+let test_r3_pipeline_agrees () =
+  let f =
+    F.of_lists ~num_vars:8
+      [ [ -2; -4; 8 ]; [ -1; -5 ]; [ -1; -3; 5 ]; [ 6; -7 ]; [ -5; -8 ];
+        [ 1; -7; -8 ]; [ 1; 2; -6; -7 ]; [ 2; -3; -4; -8 ]; [ 6 ];
+        [ 3; -4; -6 ]; [ 3 ]; [ 1; 4; 5 ]; [ 3 ]; [ 2; 3; 4; -8 ]; [ -1; 2 ];
+        [ 1; -3; 7 ] ]
+  in
+  check Alcotest.bool "pipeline = scratch" true
+    (O.is_sat (Ec_sat.Preprocess.solve_with_preprocessing f)
+    = O.is_sat (Ec_sat.Cdcl.solve_formula f))
+
+let tests =
+  [ ( "regressions",
+      [ Alcotest.test_case "R1 assumptions at full assignment" `Quick
+          test_r1_assumptions_checked_at_full_assignment;
+        Alcotest.test_case "R2 session root-falsified clause" `Quick
+          test_r2_session_sees_root_falsified_clause;
+        Alcotest.test_case "R2 interleaved growth" `Quick test_r2_session_interleaved;
+        Alcotest.test_case "R3 preprocessor unit/elimination race" `Quick
+          test_r3_preprocessor_unit_elimination_race;
+        Alcotest.test_case "R3 pipeline agreement" `Quick test_r3_pipeline_agrees ] ) ]

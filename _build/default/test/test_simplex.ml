@@ -1,0 +1,170 @@
+(* Tests for Ec_simplex.Simplex: textbook LPs, degenerate cases, and a
+   property check against brute-force vertex enumeration on random
+   2-variable LPs. *)
+
+let check = Alcotest.check
+
+let qtest = QCheck_alcotest.to_alcotest
+
+module Sx = Ec_simplex.Simplex
+module M = Ec_ilp.Model
+module E = Ec_ilp.Linexpr
+
+let feq = Alcotest.float 1e-6
+
+let solve_canonical = Sx.solve_canonical
+
+let expect_optimal = function
+  | Sx.Optimal { point; objective } -> (point, objective)
+  | Sx.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Sx.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_textbook () =
+  (* max x+y st x+2y<=4, 3x+y<=6: optimum 2.8 at (1.6, 1.2) *)
+  let point, objective =
+    expect_optimal
+      (solve_canonical ~a:[| [| 1.; 2. |]; [| 3.; 1. |] |] ~b:[| 4.; 6. |] ~c:[| 1.; 1. |])
+  in
+  check feq "objective" 2.8 objective;
+  check feq "x" 1.6 point.(0);
+  check feq "y" 1.2 point.(1)
+
+let test_infeasible () =
+  match solve_canonical ~a:[| [| 1. |] |] ~b:[| -1. |] ~c:[| 1. |] with
+  | Sx.Infeasible -> ()
+  | Sx.Optimal _ | Sx.Unbounded -> Alcotest.fail "x<=-1, x>=0 is infeasible"
+
+let test_unbounded () =
+  match solve_canonical ~a:[| [| -1. |] |] ~b:[| 0. |] ~c:[| 1. |] with
+  | Sx.Unbounded -> ()
+  | Sx.Optimal _ | Sx.Infeasible -> Alcotest.fail "max x with x>=0 only is unbounded"
+
+let test_degenerate () =
+  (* redundant constraints meeting at the optimum *)
+  let _, objective =
+    expect_optimal
+      (solve_canonical
+         ~a:[| [| 1.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |]
+         ~b:[| 1.; 1.; 1.; 2. |] ~c:[| 1.; 1. |])
+  in
+  check feq "degenerate optimum" 2.0 objective
+
+let test_negative_rhs_phase1 () =
+  (* x + y >= 1 expressed as -x - y <= -1, plus x + y <= 3; max x *)
+  let _, objective =
+    expect_optimal
+      (solve_canonical ~a:[| [| -1.; -1. |]; [| 1.; 1. |] |] ~b:[| -1.; 3. |]
+         ~c:[| 1.; 0. |])
+  in
+  check feq "phase-1 then optimum" 3.0 objective
+
+let test_zero_objective () =
+  (* pure feasibility: any point of the region works, objective 0 *)
+  let _, objective =
+    expect_optimal (solve_canonical ~a:[| [| 1. |] |] ~b:[| 5. |] ~c:[| 0. |])
+  in
+  check feq "zero objective" 0.0 objective
+
+let test_dimension_mismatch () =
+  Alcotest.check_raises "b mismatch" (Invalid_argument "Simplex: b length mismatch")
+    (fun () -> ignore (solve_canonical ~a:[| [| 1. |] |] ~b:[||] ~c:[| 1. |]))
+
+let test_model_path_eq_and_min () =
+  let m = M.create () in
+  let x = M.add_var m (M.Continuous (0.0, infinity)) in
+  let y = M.add_var m (M.Continuous (0.0, infinity)) in
+  M.add_constr m (E.of_terms [ (1.0, x); (1.0, y) ]) M.Eq 10.0;
+  M.add_constr m (E.var x) M.Le 4.0;
+  M.set_objective m M.Minimize (E.of_terms [ (3.0, x); (5.0, y) ]);
+  let s = Sx.solve_model m in
+  check Alcotest.string "status" "optimal" (Ec_ilp.Solution.status_to_string s.status);
+  check feq "objective" 42.0 s.objective;
+  check feq "x at bound" 4.0 (Ec_ilp.Solution.value s 0)
+
+let test_model_path_binary_relaxation () =
+  (* binary vars become [0,1]: max x+y st x+y <= 1.5 -> 1.5 fractional *)
+  let m = M.create () in
+  let x = M.add_var m M.Binary in
+  let y = M.add_var m M.Binary in
+  M.add_constr m (E.of_terms [ (1.0, x); (1.0, y) ]) M.Le 1.5;
+  M.set_objective m M.Maximize (E.of_terms [ (1.0, x); (1.0, y) ]);
+  let s = Sx.solve_model m in
+  check feq "fractional LP optimum" 1.5 s.objective
+
+let test_model_constant_in_objective () =
+  let m = M.create () in
+  let x = M.add_var m (M.Continuous (0.0, 1.0)) in
+  M.set_objective m M.Maximize (E.of_terms ~constant:10.0 [ (2.0, x) ]);
+  let s = Sx.solve_model m in
+  check feq "constant folded back" 12.0 s.objective
+
+(* Property: on random 2-var LPs with box constraints, the simplex
+   optimum matches brute-force evaluation over a fine grid (within grid
+   resolution), and the returned point is feasible. *)
+let prop_grid_check =
+  let gen =
+    QCheck.Gen.(
+      let* nrows = int_range 1 4 in
+      let coef = float_range (-3.0) 3.0 in
+      let* rows = list_repeat nrows (pair (pair coef coef) (float_range 0.5 6.0)) in
+      let* c = pair coef coef in
+      return (rows, c))
+  in
+  QCheck.Test.make ~count:300 ~name:"simplex vs grid search on random 2-var LPs"
+    (QCheck.make gen)
+    (fun (rows, (c0, c1)) ->
+      (* box 0 <= x,y <= 2 added so the LP is bounded *)
+      let a =
+        Array.of_list
+          (List.map (fun ((r0, r1), _) -> [| r0; r1 |]) rows
+          @ [ [| 1.0; 0.0 |]; [| 0.0; 1.0 |] ])
+      in
+      let b =
+        Array.of_list (List.map snd rows @ [ 2.0; 2.0 ])
+      in
+      let c = [| c0; c1 |] in
+      match solve_canonical ~a ~b ~c with
+      | Sx.Unbounded -> false (* impossible inside a box *)
+      | Sx.Infeasible ->
+        (* origin is feasible iff all rhs >= 0; rhs > 0 by construction *)
+        false
+      | Sx.Optimal { point; objective } ->
+        (* feasibility of the returned point *)
+        let feasible =
+          Array.for_all2
+            (fun row rhs -> (row.(0) *. point.(0)) +. (row.(1) *. point.(1)) <= rhs +. 1e-6)
+            a b
+          && point.(0) >= -1e-9 && point.(1) >= -1e-9
+        in
+        (* grid search lower bound *)
+        let best = ref neg_infinity in
+        let steps = 40 in
+        for i = 0 to steps do
+          for j = 0 to steps do
+            let x = 2.0 *. float_of_int i /. float_of_int steps in
+            let y = 2.0 *. float_of_int j /. float_of_int steps in
+            let ok =
+              Array.for_all2
+                (fun row rhs -> (row.(0) *. x) +. (row.(1) *. y) <= rhs +. 1e-9)
+                a b
+            in
+            if ok then best := Float.max !best ((c.(0) *. x) +. (c.(1) *. y))
+          done
+        done;
+        feasible && objective >= !best -. 0.2)
+
+let tests =
+  [ ( "simplex",
+      [ Alcotest.test_case "textbook LP" `Quick test_textbook;
+        Alcotest.test_case "infeasible" `Quick test_infeasible;
+        Alcotest.test_case "unbounded" `Quick test_unbounded;
+        Alcotest.test_case "degenerate" `Quick test_degenerate;
+        Alcotest.test_case "negative rhs (phase 1)" `Quick test_negative_rhs_phase1;
+        Alcotest.test_case "zero objective" `Quick test_zero_objective;
+        Alcotest.test_case "dimension mismatch" `Quick test_dimension_mismatch;
+        Alcotest.test_case "model path: eq + minimize" `Quick test_model_path_eq_and_min;
+        Alcotest.test_case "model path: binary relaxation" `Quick
+          test_model_path_binary_relaxation;
+        Alcotest.test_case "model path: objective constant" `Quick
+          test_model_constant_in_objective;
+        qtest prop_grid_check ] ) ]

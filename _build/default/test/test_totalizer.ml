@@ -1,0 +1,83 @@
+(* Tests for Ec_sat.Totalizer, cross-checked against the sequential
+   counter and against exhaustive assumption probing. *)
+
+let check = Alcotest.check
+
+let qtest = QCheck_alcotest.to_alcotest
+
+module F = Ec_cnf.Formula
+module A = Ec_cnf.Assignment
+module O = Ec_sat.Outcome
+module T = Ec_sat.Totalizer
+
+let test_outputs_count () =
+  (* force input patterns via assumptions, read the unary outputs *)
+  let n = 5 in
+  let lits = List.init n (fun i -> i + 1) in
+  let enc = T.build ~next_var:(n + 1) lits in
+  check Alcotest.int "n outputs" n (List.length enc.T.outputs);
+  let f = F.create ~num_vars:(enc.T.next_var - 1) enc.T.clauses in
+  List.iter
+    (fun pattern ->
+      let assumptions =
+        List.mapi (fun i b -> if b then i + 1 else -(i + 1)) pattern
+      in
+      match fst (Ec_sat.Cdcl.solve ~assumptions f) with
+      | O.Sat a ->
+        let count = List.length (List.filter Fun.id pattern) in
+        List.iteri
+          (fun i o ->
+            let expected = i < count in
+            check Alcotest.bool
+              (Printf.sprintf "output %d for count %d" (i + 1) count)
+              expected (A.lit_true a o))
+          enc.T.outputs
+      | _ -> Alcotest.fail "counting tree must be satisfiable under any inputs")
+    [ [ false; false; false; false; false ];
+      [ true; false; true; false; false ];
+      [ true; true; true; true; true ];
+      [ false; true; false; true; true ] ]
+
+let test_edges () =
+  let lits = [ 1; 2; 3 ] in
+  let e = T.at_most ~next_var:4 lits 3 in
+  check Alcotest.int "k>=n empty" 0 (List.length e.T.clauses);
+  let e0 = T.at_most ~next_var:4 lits 0 in
+  check Alcotest.int "k=0 units" 3 (List.length e0.T.clauses);
+  let imposs = T.at_least ~next_var:4 lits 4 in
+  check Alcotest.bool "at_least > n unsat" true
+    (List.exists Ec_cnf.Clause.is_empty imposs.T.clauses);
+  Alcotest.check_raises "collision"
+    (Invalid_argument "Totalizer.build: next_var collides with input literals")
+    (fun () -> ignore (T.build ~next_var:3 lits))
+
+let prop_agrees_with_sequential =
+  QCheck.Test.make ~name:"totalizer at_most = sequential counter" ~count:150
+    QCheck.(pair (int_range 1 6) (int_range 0 6))
+    (fun (n, k) ->
+      let lits = List.init n (fun i -> i + 1) in
+      let tot = T.at_most ~next_var:(n + 1) lits k in
+      let seq = Ec_sat.Cardinality.at_most ~next_var:(n + 1) lits k in
+      let f_tot = F.create ~num_vars:(max n (tot.T.next_var - 1)) tot.T.clauses in
+      let f_seq =
+        F.create
+          ~num_vars:(max n (seq.Ec_sat.Cardinality.next_var - 1))
+          seq.Ec_sat.Cardinality.clauses
+      in
+      (* probe every input pattern *)
+      let rec patterns i acc =
+        if i > n then [ acc ]
+        else patterns (i + 1) (i :: acc) @ patterns (i + 1) (-i :: acc)
+      in
+      List.for_all
+        (fun assumptions ->
+          let a = O.is_sat (fst (Ec_sat.Cdcl.solve ~assumptions f_tot)) in
+          let b = O.is_sat (fst (Ec_sat.Cdcl.solve ~assumptions f_seq)) in
+          a = b)
+        (patterns 1 []))
+
+let tests =
+  [ ( "sat.totalizer",
+      [ Alcotest.test_case "unary outputs count" `Quick test_outputs_count;
+        Alcotest.test_case "edge cases" `Quick test_edges;
+        qtest prop_agrees_with_sequential ] ) ]

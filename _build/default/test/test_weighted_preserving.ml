@@ -1,0 +1,70 @@
+(* Weighted preserving EC: heavy variables win over more numerous
+   light ones. *)
+
+let check = Alcotest.check
+
+module F = Ec_cnf.Formula
+module C = Ec_cnf.Clause
+module A = Ec_cnf.Assignment
+module P = Ec_core.Preserving
+
+let test_weight_tradeoff () =
+  (* v1 XOR-ish tension: (v1 + v2)(~v1 + ~v2) — exactly one of v1,v2.
+     Reference has both true (invalid after the change); preserving
+     must flip one.  Unweighted: either flip is optimal.  With weight
+     10 on v1, the optimum must keep v1. *)
+  let f = F.of_lists ~num_vars:2 [ [ 1; 2 ]; [ -1; -2 ] ] in
+  let reference = A.of_list 2 [ (1, true); (2, true) ] in
+  let r = P.resolve ~weights:[ (1, 10.0) ] f ~reference in
+  (match r.P.solution with
+  | Some a ->
+    check Alcotest.bool "heavy v1 kept" true (A.value a 1 = A.True);
+    check Alcotest.bool "light v2 flipped" true (A.value a 2 <> A.True)
+  | None -> Alcotest.fail "satisfiable");
+  (* symmetric check: weight on v2 instead *)
+  let r2 = P.resolve ~weights:[ (2, 10.0) ] f ~reference in
+  match r2.P.solution with
+  | Some a -> check Alcotest.bool "heavy v2 kept" true (A.value a 2 = A.True)
+  | None -> Alcotest.fail "satisfiable"
+
+let test_weight_beats_count () =
+  (* one heavy variable vs three light ones on opposite sides of an
+     exclusive choice *)
+  let f =
+    F.of_lists ~num_vars:4
+      [ [ 1; 2 ]; [ -1; -2 ]; [ 1; 3 ]; [ -1; -3 ]; [ 1; 4 ]; [ -1; -4 ] ]
+  in
+  (* v1 true forces v2,v3,v4 false and vice versa *)
+  let reference = A.of_list 4 [ (1, true); (2, true); (3, true); (4, true) ] in
+  let unweighted = P.resolve f ~reference in
+  (match unweighted.P.solution with
+  | Some a ->
+    check Alcotest.bool "unweighted keeps the three" true (A.value a 1 = A.False)
+  | None -> Alcotest.fail "satisfiable");
+  let weighted = P.resolve ~weights:[ (1, 5.0) ] f ~reference in
+  match weighted.P.solution with
+  | Some a -> check Alcotest.bool "weight 5 flips the choice" true (A.value a 1 = A.True)
+  | None -> Alcotest.fail "satisfiable"
+
+let test_weight_guards () =
+  let f = F.of_lists ~num_vars:1 [ [ 1 ] ] in
+  let reference = A.of_list 1 [ (1, true) ] in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Preserving.resolve: negative weight") (fun () ->
+      ignore (P.resolve ~weights:[ (1, -1.0) ] f ~reference));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Preserving.resolve: weighted variable out of range") (fun () ->
+      ignore (P.resolve ~weights:[ (7, 1.0) ] f ~reference));
+  Alcotest.check_raises "cardinality engine rejects weights"
+    (Invalid_argument "Preserving.resolve: weights require the Ilp_objective engine")
+    (fun () ->
+      ignore
+        (P.resolve
+           ~engine:(P.Sat_cardinality Ec_sat.Cdcl.default_options)
+           ~weights:[ (1, 2.0) ] f ~reference))
+
+let tests =
+  [ ( "core.preserving.weighted",
+      [ Alcotest.test_case "weight trade-off" `Quick test_weight_tradeoff;
+        Alcotest.test_case "weight beats count" `Quick test_weight_beats_count;
+        Alcotest.test_case "guards" `Quick test_weight_guards ] ) ]
