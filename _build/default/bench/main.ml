@@ -67,7 +67,7 @@ let config_of args =
       scale = args.scale;
       trials = args.trials;
       (* keep the default end-to-end run in the ten-minute range *)
-      time_limit_s = Some 15.0 }
+      budget = Ec_util.Budget.create ~time_s:15.0 ~nodes:5_000_000 () }
 
 (* ---------------- paper tables ---------------- *)
 
@@ -110,8 +110,7 @@ let micro_fixture () =
 
 let bnb_capped =
   { Ec_ilpsolver.Bnb.default_options with
-    node_limit = Some 500_000;
-    time_limit_s = Some 5.0 }
+    budget = Ec_util.Budget.create ~time_s:5.0 ~nodes:500_000 () }
 
 (* One Bechamel group per table. *)
 let micro_tests () =
@@ -266,7 +265,7 @@ let run_ablations args =
       | Ec_sat.Outcome.Sat a ->
         Printf.printf "  A4 %-28s preserved %5.1f%%\n" label
           (100.0 *. Ec_cnf.Assignment.preserved_fraction ~old_assignment:reference a)
-      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown ->
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ ->
         Printf.printf "  A4 %-28s failed\n" label
     in
     preserved "CDCL cold start:" (Ec_sat.Cdcl.solve_formula f');
@@ -318,7 +317,11 @@ let run_ablations args =
   (match Ec_coloring.Graph.random_planted rng ~num_nodes:60 ~colors:7 ~edges:160 with
   | exception Invalid_argument _ -> print_endline "  A7 skipped (edge draw failed)"
   | g0, _ ->
-    let opts = { bnb_capped with time_limit_s = Some 10.0 } in
+    let opts =
+      { bnb_capped with
+        budget = Ec_util.Budget.create ~time_s:10.0 ~nodes:500_000 ()
+      }
+    in
     let solve_alloc ~enabled g =
       let enc = Ec_coloring.Encode_coloring.make g ~colors:7 in
       if enabled then Ec_coloring.Ec_ops.add_enabling enc;
@@ -402,7 +405,7 @@ let run_ablations args =
     Printf.printf
       "  A8 25 clause adds on %s: scratch %.4fs — incremental session %.4fs — fast-EC cones %.4fs\n"
       a8_spec.name t_scratch t_inc t_fast
-  | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> print_endline "  A8 skipped");
+  | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> print_endline "  A8 skipped");
 
   (* A9: CNF preprocessing in front of CDCL. *)
   let a9 = Ec_instances.Registry.build

@@ -54,39 +54,61 @@ let changes_of add eliminate =
   List.map (fun v -> Ec_cnf.Change.Eliminate_var v) eliminate
   @ List.map (fun spec -> Ec_cnf.Change.Add_clause (parse_clause spec)) add
 
+let timeout_arg =
+  let doc = "Wall-clock budget in seconds; on exhaustion the solver reports UNKNOWN." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let conflicts_arg =
+  let doc = "Conflict budget (CDCL conflicts / B&B pruning conflicts)." in
+  Arg.(value & opt (some int) None & info [ "conflicts" ] ~docv:"N" ~doc)
+
+let budget_of timeout conflicts = Ec_util.Budget.create ?time_s:timeout ?conflicts ()
+
 let load file = Ec_cnf.Dimacs.parse_file file
 
+(* SAT-competition exit codes: 10 = satisfiable, 20 = unsatisfiable,
+   0 = unknown (e.g. out of budget). *)
+let report_model f a =
+  if not (Ec_cnf.Assignment.satisfies a f) then begin
+    print_endline "c INTERNAL ERROR: model does not satisfy";
+    1
+  end
+  else begin
+    print_endline "s SATISFIABLE";
+    print_endline (Ec_cnf.Dimacs.solution_to_string a);
+    Printf.printf "c don't-cares: %d of %d\n" (Ec_cnf.Assignment.dc_count a)
+      (Ec_cnf.Assignment.num_vars a);
+    10
+  end
+
 let report_solution f = function
-  | None -> print_endline "s UNSATISFIABLE"; 20
-  | Some a ->
-    if not (Ec_cnf.Assignment.satisfies a f) then begin
-      print_endline "c INTERNAL ERROR: model does not satisfy";
-      1
-    end
-    else begin
-      print_endline "s SATISFIABLE";
-      print_endline (Ec_cnf.Dimacs.solution_to_string a);
-      Printf.printf "c don't-cares: %d of %d\n" (Ec_cnf.Assignment.dc_count a)
-        (Ec_cnf.Assignment.num_vars a);
-      0
-    end
+  | Ec_sat.Outcome.Unsat ->
+    print_endline "s UNSATISFIABLE";
+    20
+  | Ec_sat.Outcome.Unknown reason ->
+    Printf.printf "c stopped: %s\n" (Ec_util.Budget.reason_to_string reason);
+    print_endline "s UNKNOWN";
+    0
+  | Ec_sat.Outcome.Sat a -> report_model f a
 
 (* ---- solve ---- *)
 
 let solve_cmd =
-  let run file backend =
+  let run file backend timeout conflicts =
     let f = load file in
-    let a, t =
-      Ec_util.Stopwatch.time (fun () ->
-          match Ec_core.Backend.solve backend f with
-          | Ec_sat.Outcome.Sat a -> Some a
-          | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None)
+    let backend = Ec_core.Backend.with_budget backend (budget_of timeout conflicts) in
+    let r, t =
+      Ec_util.Stopwatch.time (fun () -> Ec_core.Backend.solve_response backend f)
     in
-    Printf.printf "c backend=%s time=%.4fs\n" (Ec_core.Backend.name backend) t;
-    report_solution f a
+    Printf.printf "c backend=%s time=%.4fs conflicts=%d nodes=%d\n"
+      (Ec_core.Backend.name backend) t
+      r.Ec_core.Backend.counters.Ec_util.Budget.spent_conflicts
+      r.Ec_core.Backend.counters.Ec_util.Budget.spent_nodes;
+    report_solution f r.Ec_core.Backend.outcome
   in
   let doc = "solve a DIMACS CNF instance" in
-  Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ cnf_file $ backend)
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(const run $ cnf_file $ backend $ timeout_arg $ conflicts_arg)
 
 (* ---- enable ---- *)
 
@@ -105,7 +127,7 @@ let enable_cmd =
       Printf.printf "c enabling mode=%s flexibility=%.3f time=%.4fs\n"
         (if objective_mode then "objective" else "constraints")
         init.flexibility init.solve_time_s;
-      report_solution f (Some init.assignment)
+      report_model f init.assignment
   in
   let objective_mode =
     Arg.(value & flag
@@ -121,6 +143,17 @@ let enable_cmd =
 
 (* ---- fast / preserve ---- *)
 
+(* Budget exhaustion must not masquerade as unsatisfiability: without a
+   verdict the exit code is the competition's 0/unknown, not 20. *)
+let report_no_solution = function
+  | Ec_util.Budget.Completed ->
+    print_endline "s UNSATISFIABLE (modified instance)";
+    20
+  | reason ->
+    Printf.printf "c stopped: %s\n" (Ec_util.Budget.reason_to_string reason);
+    print_endline "s UNKNOWN";
+    0
+
 let with_initial file backend k =
   let f = load file in
   match Ec_core.Flow.solve_initial ~solver:backend f with
@@ -130,44 +163,47 @@ let with_initial file backend k =
   | Some init -> k f init
 
 let fast_cmd =
-  let run file backend add eliminate =
+  let run file backend add eliminate timeout conflicts =
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
-        match Ec_core.Flow.apply_change ~strategy:Ec_core.Flow.Fast ~solver:backend init script with
-        | None ->
-          print_endline "s UNSATISFIABLE (modified instance)";
-          20
+        let r =
+          Ec_core.Flow.apply_change_response ~strategy:Ec_core.Flow.Fast
+            ~solver:backend ~budget:(budget_of timeout conflicts) init script
+        in
+        match r.Ec_core.Flow.result with
+        | None -> report_no_solution r.Ec_core.Flow.reason
         | Some u ->
           (match u.sub_instance_size with
           | Some (v, c) -> Printf.printf "c fast-EC cone: %d vars, %d clauses\n" v c
           | None -> print_endline "c fast-EC fell back to a full re-solve");
           Printf.printf "c preserved %.1f%% of the initial solution, %.4fs\n"
             (100.0 *. u.preserved_fraction) u.resolve_time_s;
-          report_solution u.new_formula (Some u.new_assignment))
+          report_model u.new_formula u.new_assignment)
   in
   let doc = "apply changes and re-solve with fast EC (paper \xc2\xa76, Figure 2)" in
   Cmd.v (Cmd.info "fast" ~doc)
-    Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg)
+    Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ timeout_arg
+          $ conflicts_arg)
 
 let preserve_cmd =
-  let run file backend add eliminate use_sat =
+  let run file backend add eliminate use_sat timeout conflicts =
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
         let engine =
           if use_sat then Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options
           else Ec_core.Preserving.default_engine
         in
-        match
-          Ec_core.Flow.apply_change ~strategy:(Ec_core.Flow.Preserve engine)
-            ~solver:backend init script
-        with
-        | None ->
-          print_endline "s UNSATISFIABLE (modified instance)";
-          20
+        let r =
+          Ec_core.Flow.apply_change_response
+            ~strategy:(Ec_core.Flow.Preserve engine) ~solver:backend
+            ~budget:(budget_of timeout conflicts) init script
+        in
+        match r.Ec_core.Flow.result with
+        | None -> report_no_solution r.Ec_core.Flow.reason
         | Some u ->
           Printf.printf "c preserved %.1f%% of the initial solution, %.4fs\n"
             (100.0 *. u.preserved_fraction) u.resolve_time_s;
-          report_solution u.new_formula (Some u.new_assignment))
+          report_model u.new_formula u.new_assignment)
   in
   let use_sat =
     Arg.(value & flag
@@ -176,7 +212,8 @@ let preserve_cmd =
   in
   let doc = "apply changes and re-solve with preserving EC (paper \xc2\xa77)" in
   Cmd.v (Cmd.info "preserve" ~doc)
-    Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ use_sat)
+    Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ use_sat
+          $ timeout_arg $ conflicts_arg)
 
 (* ---- preprocess ---- *)
 

@@ -24,7 +24,9 @@ let () =
      every live range keeps a spare register. *)
   let enc = Ec_coloring.Encode_coloring.make g ~colors in
   Ec_coloring.Ec_ops.add_enabling enc;
-  let opts = { Ec_ilpsolver.Bnb.default_options with time_limit_s = Some 20.0 } in
+  let opts =
+    { Ec_ilpsolver.Bnb.default_options with budget = Ec_util.Budget.of_time 20.0 }
+  in
   let solution, _ =
     Ec_ilpsolver.Bnb.solve_decision ~options:opts (Ec_coloring.Encode_coloring.model enc)
   in

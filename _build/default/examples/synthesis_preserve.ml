@@ -36,7 +36,7 @@ let () =
   let stage1 =
     match Ec_core.Backend.solve Ec_core.Backend.ilp_exact f with
     | Ec_sat.Outcome.Sat a -> a
-    | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> failwith "unsat base"
+    | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> failwith "unsat base"
   in
   Printf.printf "Stage 1 committed %d decisions; stage 2 consumed them.\n\n"
     (List.length (Ec_cnf.Assignment.assigned_vars stage1));
@@ -73,7 +73,7 @@ let () =
   (* Policy 1: plain re-solve. *)
   (match Ec_core.Backend.solve Ec_core.Backend.ilp_exact f' with
   | Ec_sat.Outcome.Sat a -> report "plain re-solve:" (Some a) false
-  | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> report "plain re-solve:" None false);
+  | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> report "plain re-solve:" None false);
 
   (* Policy 2: preserving EC, both engines agree on the optimum. *)
   let r_ilp = Ec_core.Preserving.resolve f' ~reference:stage1 in

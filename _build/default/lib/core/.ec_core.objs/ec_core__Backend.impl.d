@@ -1,1 +1,1 @@
-lib/core/backend.ml: Cnfize Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat Encode
+lib/core/backend.ml: Cnfize Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat Ec_util Encode

@@ -1,1 +1,1 @@
-lib/core/backend.mli: Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat
+lib/core/backend.mli: Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat Ec_util

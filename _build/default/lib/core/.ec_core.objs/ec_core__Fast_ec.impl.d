@@ -1,1 +1,1 @@
-lib/core/fast_ec.ml: Array Backend Ec_cnf Ec_sat List Queue
+lib/core/fast_ec.ml: Array Backend Ec_cnf Ec_sat Ec_util List Queue

@@ -1,1 +1,1 @@
-lib/core/fast_ec.mli: Backend Ec_cnf
+lib/core/fast_ec.mli: Backend Ec_cnf Ec_util

@@ -1,1 +1,1 @@
-lib/core/flow.mli: Backend Ec_cnf Enabling Preserving
+lib/core/flow.mli: Backend Ec_cnf Ec_util Enabling Preserving

@@ -1,1 +1,1 @@
-lib/core/preserving.ml: Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat Encode Hashtbl List Printf
+lib/core/preserving.ml: Ec_cnf Ec_ilp Ec_ilpsolver Ec_sat Ec_util Encode Hashtbl List Printf

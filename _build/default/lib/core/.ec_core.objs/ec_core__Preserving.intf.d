@@ -1,1 +1,1 @@
-lib/core/preserving.mli: Ec_cnf Ec_ilpsolver Ec_sat
+lib/core/preserving.mli: Ec_cnf Ec_ilpsolver Ec_sat Ec_util

@@ -24,52 +24,159 @@ let with_phase_hint t hint =
   | Cdcl options -> Cdcl { options with phase_hint = Some hint }
   | Ilp_exact _ | Ilp_heuristic _ | Dpll _ -> t
 
+let with_budget t budget =
+  match t with
+  | Ilp_exact o ->
+    Ilp_exact { o with Ec_ilpsolver.Bnb.budget = Ec_util.Budget.combine budget o.budget }
+  | Ilp_heuristic o ->
+    Ilp_heuristic
+      { o with Ec_ilpsolver.Heuristic.budget = Ec_util.Budget.combine budget o.budget }
+  | Cdcl o -> Cdcl { o with Ec_sat.Cdcl.budget = Ec_util.Budget.combine budget o.budget }
+  | Dpll o -> Dpll { Ec_sat.Dpll.budget = Ec_util.Budget.combine budget o.Ec_sat.Dpll.budget }
+
+type response = {
+  outcome : Ec_sat.Outcome.t;
+  reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
+  engine : string;
+}
+
+type model_response = {
+  solution : Ec_ilp.Solution.t;
+  reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
+  engine : string;
+}
+
 let maybe_recover recover_dc formula outcome =
   match outcome with
   | Ec_sat.Outcome.Sat a when recover_dc ->
     Ec_sat.Outcome.Sat (Ec_sat.Minimize.recover_dc formula a)
-  | Ec_sat.Outcome.Sat _ | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> outcome
+  | Ec_sat.Outcome.Sat _ | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> outcome
 
-let solve ?(recover_dc = true) t formula =
-  if Ec_cnf.Formula.has_empty_clause formula then Ec_sat.Outcome.Unsat
+let solve_response ?(recover_dc = true) ?budget t formula =
+  let t = match budget with None -> t | Some b -> with_budget t b in
+  let respond outcome reason counters =
+    { outcome; reason; counters; engine = name t }
+  in
+  if Ec_cnf.Formula.has_empty_clause formula then
+    respond Ec_sat.Outcome.Unsat Ec_util.Budget.Completed Ec_util.Budget.zero
   else
     match t with
     | Cdcl options ->
-      maybe_recover recover_dc formula (Ec_sat.Cdcl.solve_formula ~options formula)
+      let r = Ec_sat.Cdcl.solve_response ~options formula in
+      respond
+        (maybe_recover recover_dc formula r.Ec_sat.Cdcl.outcome)
+        r.Ec_sat.Cdcl.reason r.Ec_sat.Cdcl.counters
     | Dpll options ->
-      maybe_recover recover_dc formula (Ec_sat.Dpll.solve ~options formula)
-    | Ilp_exact options -> (
+      let r = Ec_sat.Dpll.solve_response ~options formula in
+      respond
+        (maybe_recover recover_dc formula r.Ec_sat.Dpll.outcome)
+        r.Ec_sat.Dpll.reason r.Ec_sat.Dpll.counters
+    | Ilp_exact options ->
       let enc = Encode.of_formula formula in
-      let solution, _ = Ec_ilpsolver.Bnb.solve_decision ~options (Encode.model enc) in
-      match solution.Ec_ilp.Solution.status with
-      | Ec_ilp.Solution.Optimal | Ec_ilp.Solution.Feasible -> (
-        match Encode.decode enc solution with
+      let r = Ec_ilpsolver.Bnb.solve_decision_response ~options (Encode.model enc) in
+      let solution = r.Ec_ilpsolver.Bnb.solution in
+      let outcome =
+        match solution.Ec_ilp.Solution.status with
+        | Ec_ilp.Solution.Optimal | Ec_ilp.Solution.Feasible -> (
+          match Encode.decode enc solution with
+          | Some a -> Ec_sat.Outcome.Sat a
+          | None -> Ec_sat.Outcome.Unknown Ec_util.Budget.Completed)
+        | Ec_ilp.Solution.Infeasible -> Ec_sat.Outcome.Unsat
+        | Ec_ilp.Solution.Unbounded | Ec_ilp.Solution.Unknown ->
+          Ec_sat.Outcome.Unknown r.Ec_ilpsolver.Bnb.reason
+      in
+      respond outcome r.Ec_ilpsolver.Bnb.reason r.Ec_ilpsolver.Bnb.counters
+    | Ilp_heuristic options ->
+      let enc = Encode.of_formula formula in
+      let r = Ec_ilpsolver.Heuristic.solve_response ~options (Encode.model enc) in
+      let outcome =
+        match Encode.decode enc r.Ec_ilpsolver.Heuristic.solution with
         | Some a -> Ec_sat.Outcome.Sat a
-        | None -> Ec_sat.Outcome.Unknown)
-      | Ec_ilp.Solution.Infeasible -> Ec_sat.Outcome.Unsat
-      | Ec_ilp.Solution.Unbounded | Ec_ilp.Solution.Unknown -> Ec_sat.Outcome.Unknown)
-    | Ilp_heuristic options -> (
-      let enc = Encode.of_formula formula in
-      let solution, _ = Ec_ilpsolver.Heuristic.solve ~options (Encode.model enc) in
-      match Encode.decode enc solution with
-      | Some a -> Ec_sat.Outcome.Sat a
-      | None -> Ec_sat.Outcome.Unknown)
+        | None -> Ec_sat.Outcome.Unknown r.Ec_ilpsolver.Heuristic.reason
+      in
+      respond outcome r.Ec_ilpsolver.Heuristic.reason r.Ec_ilpsolver.Heuristic.counters
 
-let solve_model t model =
+let solve ?recover_dc ?budget t formula =
+  (solve_response ?recover_dc ?budget t formula).outcome
+
+let solve_model_response ?budget t model =
+  let t = match budget with None -> t | Some b -> with_budget t b in
+  let of_bnb (r : Ec_ilpsolver.Bnb.response) =
+    { solution = r.Ec_ilpsolver.Bnb.solution;
+      reason = r.Ec_ilpsolver.Bnb.reason;
+      counters = r.Ec_ilpsolver.Bnb.counters;
+      engine = "ilp-bnb" }
+  in
   match t with
-  | Ilp_exact options -> fst (Ec_ilpsolver.Bnb.solve ~options model)
-  | Ilp_heuristic options -> fst (Ec_ilpsolver.Heuristic.solve ~options model)
+  | Ilp_exact options -> of_bnb (Ec_ilpsolver.Bnb.solve_response ~options model)
+  | Ilp_heuristic options ->
+    let r = Ec_ilpsolver.Heuristic.solve_response ~options model in
+    { solution = r.Ec_ilpsolver.Heuristic.solution;
+      reason = r.Ec_ilpsolver.Heuristic.reason;
+      counters = r.Ec_ilpsolver.Heuristic.counters;
+      engine = name t }
   | Cdcl options -> (
     (* Clause-like models (every encoding in this project) translate
        exactly to CNF; general rows fall back to branch & bound. *)
     match Cnfize.of_model model with
-    | exception Cnfize.Unsupported _ -> fst (Ec_ilpsolver.Bnb.solve model)
-    | cnf -> (
-      match Ec_sat.Cdcl.solve_formula ~options cnf.Cnfize.formula with
-      | Ec_sat.Outcome.Sat a ->
-        let values = Cnfize.point_of_assignment cnf a in
-        let objective = Ec_ilp.Validate.objective_value model values in
-        { Ec_ilp.Solution.status = Ec_ilp.Solution.Feasible; values; objective }
-      | Ec_sat.Outcome.Unsat -> Ec_ilp.Solution.infeasible
-      | Ec_sat.Outcome.Unknown -> Ec_ilp.Solution.unknown))
-  | Dpll _ -> fst (Ec_ilpsolver.Bnb.solve model)
+    | exception Cnfize.Unsupported _ ->
+      of_bnb
+        (Ec_ilpsolver.Bnb.solve_response
+           ~options:
+             { Ec_ilpsolver.Bnb.default_options with budget = options.Ec_sat.Cdcl.budget }
+           model)
+    | cnf ->
+      let r = Ec_sat.Cdcl.solve_response ~options cnf.Cnfize.formula in
+      let solution =
+        match r.Ec_sat.Cdcl.outcome with
+        | Ec_sat.Outcome.Sat a ->
+          let values = Cnfize.point_of_assignment cnf a in
+          let objective = Ec_ilp.Validate.objective_value model values in
+          { Ec_ilp.Solution.status = Ec_ilp.Solution.Feasible; values; objective }
+        | Ec_sat.Outcome.Unsat -> Ec_ilp.Solution.infeasible
+        | Ec_sat.Outcome.Unknown _ -> Ec_ilp.Solution.unknown
+      in
+      { solution;
+        reason = r.Ec_sat.Cdcl.reason;
+        counters = r.Ec_sat.Cdcl.counters;
+        engine = name t })
+  | Dpll options ->
+    of_bnb
+      (Ec_ilpsolver.Bnb.solve_response
+         ~options:
+           { Ec_ilpsolver.Bnb.default_options with budget = options.Ec_sat.Dpll.budget }
+         model)
+
+let solve_model ?budget t model = (solve_model_response ?budget t model).solution
+
+(* --- graceful degradation -------------------------------------------- *)
+
+let default_chain = [ ilp_exact; ilp_heuristic; cdcl ]
+
+let solve_chain ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint stages formula =
+  let stages = if stages = [] then [ cdcl ] else stages in
+  let rec go remaining spent = function
+    | [] -> assert false
+    | stage :: rest ->
+      let stage =
+        match hint with None -> stage | Some h -> with_phase_hint stage h
+      in
+      let r = solve_response ?recover_dc ~budget:remaining stage formula in
+      let spent = Ec_util.Budget.add spent r.counters in
+      let finish () = { r with counters = spent } in
+      (match r.outcome with
+      | Ec_sat.Outcome.Sat _ | Ec_sat.Outcome.Unsat -> finish ()
+      | Ec_sat.Outcome.Unknown reason ->
+        (* A blown deadline or a cancellation is global: no later stage
+           can do better, so stop instead of burning the tail of the
+           chain on zero-allowance solves. *)
+        if
+          rest = []
+          || reason = Ec_util.Budget.Deadline
+          || reason = Ec_util.Budget.Cancelled
+        then finish ()
+        else go (Ec_util.Budget.consume remaining r.counters) spent rest)
+  in
+  go budget Ec_util.Budget.zero stages

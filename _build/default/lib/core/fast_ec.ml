@@ -74,15 +74,23 @@ type result = {
   solution : Ec_cnf.Assignment.t option;
   sub_vars_count : int;
   sub_clauses_count : int;
+  reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
 }
 
-let resolve ?(backend = Backend.cdcl) f p =
+let resolve ?(backend = Backend.cdcl) ?budget f p =
   let s = simplify f p in
   if s.already_satisfied then
-    { simplified = s; solution = Some p; sub_vars_count = 0; sub_clauses_count = 0 }
+    { simplified = s;
+      solution = Some p;
+      sub_vars_count = 0;
+      sub_clauses_count = 0;
+      reason = Ec_util.Budget.Completed;
+      counters = Ec_util.Budget.zero }
   else begin
+    let r = Backend.solve_response ?budget backend s.sub_formula in
     let solution =
-      match Backend.solve backend s.sub_formula with
+      match r.Backend.outcome with
       | Ec_sat.Outcome.Sat sub ->
         let p = Ec_cnf.Assignment.extend p (Ec_cnf.Formula.num_vars f) in
         let merged = Ec_cnf.Assignment.merge_on ~vars:s.vars ~base:p ~overlay:sub in
@@ -91,12 +99,14 @@ let resolve ?(backend = Backend.cdcl) f p =
           (* Should not happen: the cone construction guarantees the
              merge satisfies every clause; fail loudly in debug runs. *)
           None
-      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> None
     in
     { simplified = s;
       solution;
       sub_vars_count = List.length s.vars;
-      sub_clauses_count = List.length s.marked }
+      sub_clauses_count = List.length s.marked;
+      reason = r.Backend.reason;
+      counters = r.Backend.counters }
   end
 
 let refresh = Ec_sat.Minimize.recover_dc ?order:None

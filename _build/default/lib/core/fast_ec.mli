@@ -37,13 +37,21 @@ type result = {
           unsatisfiable or the backend gave up *)
   sub_vars_count : int;    (** |V| — Table 2's "Ave. # Vars" *)
   sub_clauses_count : int; (** marked clause count — "Ave. # Clauses" *)
+  reason : Ec_util.Budget.reason;
+      (** why the cone solve stopped ([Completed] when the old
+          assignment already satisfied the change) *)
+  counters : Ec_util.Budget.counters;
+      (** what the cone solve spent — lets a caller hand the remainder
+          of its budget to a full re-solve on [None] *)
 }
 
 val resolve :
-  ?backend:Backend.t -> Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> result
+  ?backend:Backend.t -> ?budget:Ec_util.Budget.t ->
+  Ec_cnf.Formula.t -> Ec_cnf.Assignment.t -> result
 (** Full Figure-2 pipeline: simplify, re-solve the sub-instance with
-    the backend (default {!Backend.cdcl}), and merge the partial new
-    solution into [p] over exactly the variables of [V].
+    the backend (default {!Backend.cdcl}) under the budget, and merge
+    the partial new solution into [p] over exactly the variables of
+    [V].
 
     Note the algorithm is {e incomplete} by design: the sub-instance
     can be unsatisfiable while the full modified formula is not (the

@@ -6,18 +6,18 @@ type initial = {
   solve_time_s : float;
 }
 
-let solve_initial ?enable ?(solver = Backend.cdcl) formula =
+let solve_initial ?enable ?(solver = Backend.cdcl) ?budget formula =
   let run () =
     match enable with
     | None -> (
-      match Backend.solve solver formula with
+      match (Backend.solve_response ?budget solver formula).Backend.outcome with
       | Ec_sat.Outcome.Sat a -> Some a
-      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None)
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> None)
     | Some mode -> (
       let enc = Encode.of_formula formula in
       let _info = Enabling.add mode enc in
-      let solution = Backend.solve_model solver (Encode.model enc) in
-      match Encode.decode enc solution with
+      let r = Backend.solve_model_response ?budget solver (Encode.model enc) in
+      match Encode.decode enc r.Backend.solution with
       | Some a -> Some a
       | None -> None)
   in
@@ -44,43 +44,79 @@ type updated = {
   preserved_fraction : float;
   sub_instance_size : (int * int) option;
   resolve_time_s : float;
+  reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
 }
 
-let apply_change ?(strategy = Fast) ?(solver = Backend.cdcl) initial script =
+type response = {
+  result : updated option;
+  reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
+}
+
+let apply_change_response ?(strategy = Fast) ?(solver = Backend.cdcl)
+    ?(budget = Ec_util.Budget.unlimited) initial script =
   let new_formula = Ec_cnf.Change.apply_script initial.formula script in
   let reference =
     Ec_cnf.Assignment.extend initial.assignment (Ec_cnf.Formula.num_vars new_formula)
   in
-  let full_resolve () =
+  let full_resolve remaining =
     (* Warm-started full solve: the old solution seeds phase saving
        where the backend supports it. *)
-    match Backend.solve (Backend.with_phase_hint solver reference) new_formula with
-    | Ec_sat.Outcome.Sat a -> Some (a, None)
-    | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None
+    let r =
+      Backend.solve_response ~budget:remaining
+        (Backend.with_phase_hint solver reference)
+        new_formula
+    in
+    let outcome =
+      match r.Backend.outcome with
+      | Ec_sat.Outcome.Sat a -> Some (a, None)
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> None
+    in
+    (outcome, r.Backend.reason, r.Backend.counters)
   in
   let run () =
     match strategy with
-    | Full -> full_resolve ()
+    | Full -> full_resolve budget
     | Fast -> (
-      let r = Fast_ec.resolve ~backend:solver new_formula reference in
+      let r = Fast_ec.resolve ~backend:solver ~budget new_formula reference in
       match r.Fast_ec.solution with
-      | Some a -> Some (a, Some (r.Fast_ec.sub_vars_count, r.Fast_ec.sub_clauses_count))
-      | None -> full_resolve ())
+      | Some a ->
+        ( Some (a, Some (r.Fast_ec.sub_vars_count, r.Fast_ec.sub_clauses_count)),
+          r.Fast_ec.reason,
+          r.Fast_ec.counters )
+      | None ->
+        (* Graceful degradation: the cone was unsatisfiable (the fast
+           algorithm is incomplete) or its solve ran out of allowance —
+           fall back to a full re-solve under whatever budget is left.
+           On an exhausted budget the full solve trips at its first
+           check, so the fallback costs at most one tick. *)
+        let remaining = Ec_util.Budget.consume budget r.Fast_ec.counters in
+        let outcome, reason, full_counters = full_resolve remaining in
+        (outcome, reason, Ec_util.Budget.add r.Fast_ec.counters full_counters))
     | Preserve engine -> (
-      let r = Preserving.resolve ~engine new_formula ~reference in
+      let r = Preserving.resolve ~engine ~budget new_formula ~reference in
       match r.Preserving.solution with
-      | Some a -> Some (a, None)
-      | None -> None)
+      | Some a -> (Some (a, None), r.Preserving.reason, Ec_util.Budget.zero)
+      | None -> (None, r.Preserving.reason, Ec_util.Budget.zero))
   in
-  let result, elapsed = Ec_util.Stopwatch.time run in
-  match result with
-  | None -> None
-  | Some (a, sub) ->
-    Some
-      { new_formula;
-        new_assignment = a;
-        strategy;
-        preserved_fraction =
-          Ec_cnf.Assignment.preserved_fraction ~old_assignment:reference a;
-        sub_instance_size = sub;
-        resolve_time_s = elapsed }
+  let (result, reason, counters), elapsed = Ec_util.Stopwatch.time run in
+  let result =
+    match result with
+    | None -> None
+    | Some (a, sub) ->
+      Some
+        { new_formula;
+          new_assignment = a;
+          strategy;
+          preserved_fraction =
+            Ec_cnf.Assignment.preserved_fraction ~old_assignment:reference a;
+          sub_instance_size = sub;
+          resolve_time_s = elapsed;
+          reason;
+          counters }
+  in
+  { result; reason; counters }
+
+let apply_change ?strategy ?solver ?budget initial script =
+  (apply_change_response ?strategy ?solver ?budget initial script).result

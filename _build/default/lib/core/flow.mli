@@ -18,6 +18,7 @@ type initial = {
 val solve_initial :
   ?enable:Enabling.mode ->
   ?solver:Backend.t ->
+  ?budget:Ec_util.Budget.t ->
   Ec_cnf.Formula.t ->
   initial option
 (** Produce the initial solution ("non-EC solution", or "EC solution"
@@ -25,7 +26,9 @@ val solve_initial :
     solved by branch & bound (hard constraints) — the
     {!Backend.ilp_heuristic} backend is substituted automatically for
     models the exact solver cannot finish if a [solver] of that kind
-    is passed.  [None] when unsatisfiable. *)
+    is passed.  [budget] caps the solve ({!Ec_util.Budget}); running
+    out is reported as [None], like unsatisfiability.  [None] when
+    unsatisfiable. *)
 
 type resolve_strategy =
   | Fast                      (** Figure 2 cone re-solve *)
@@ -40,15 +43,45 @@ type updated = {
   sub_instance_size : (int * int) option;
       (** (vars, clauses) of the fast-EC cone when [Fast] was used *)
   resolve_time_s : float;
+  reason : Ec_util.Budget.reason;
+      (** why the last solve of the strategy stopped *)
+  counters : Ec_util.Budget.counters;
+      (** total spend across the strategy, including a fast-EC
+          fallback's both stages ([Preserve] reports zero — its
+          engines do not expose per-probe counters here) *)
 }
+
+type response = {
+  result : updated option;
+  reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
+}
+(** Like {!updated} but the stop reason and spend survive a failed
+    solve, distinguishing a proved-unsatisfiable instance
+    ([result = None], [reason = Completed]) from an exhausted budget
+    ([result = None], any other reason). *)
+
+val apply_change_response :
+  ?strategy:resolve_strategy ->
+  ?solver:Backend.t ->
+  ?budget:Ec_util.Budget.t ->
+  initial ->
+  Ec_cnf.Change.t list ->
+  response
+(** Apply the script to the initial solution's formula and re-solve
+    with the chosen strategy (default [Fast], falling back to a full
+    re-solve when the cone is unsatisfiable or over budget).  [budget]
+    is one end-to-end allowance: the fallback full re-solve runs under
+    what the cone solve left ({!Ec_util.Budget.consume}), so the pair
+    overshoots a deadline by at most one check granularity. *)
 
 val apply_change :
   ?strategy:resolve_strategy ->
   ?solver:Backend.t ->
+  ?budget:Ec_util.Budget.t ->
   initial ->
   Ec_cnf.Change.t list ->
   updated option
-(** Apply the script to the initial solution's formula and re-solve
-    with the chosen strategy (default [Fast], falling back to a full
-    re-solve when the cone is unsatisfiable).  [None] when the modified
-    instance cannot be solved. *)
+(** {!apply_change_response} without the failure detail: [None] both
+    when the modified instance is unsatisfiable and when the budget
+    ran out before a verdict. *)

@@ -9,6 +9,7 @@ type result = {
   preserved : int;
   total : int;
   optimal : bool;
+  reason : Ec_util.Budget.reason;
 }
 
 let preserved_fraction r =
@@ -29,7 +30,7 @@ let reference_value reference v =
 
 (* --- ILP engine (the paper's §7 formulation) --------------------- *)
 
-let resolve_ilp options pins weights f ~reference =
+let resolve_ilp options pins weights budget f ~reference =
   let enc = Encode.of_formula f in
   let model = Encode.model enc in
   let n = Encode.num_cnf_vars enc in
@@ -72,14 +73,26 @@ let resolve_ilp options pins weights f ~reference =
         fix (Encode.pos_var enc v) 0.0;
         fix (Encode.neg_var enc v) 0.0)
     pins;
-  let solution, _stats = Ec_ilpsolver.Bnb.solve ~options model in
+  let options =
+    { options with
+      Ec_ilpsolver.Bnb.budget = Ec_util.Budget.combine budget options.Ec_ilpsolver.Bnb.budget
+    }
+  in
+  let r = Ec_ilpsolver.Bnb.solve_response ~options model in
+  let solution = r.Ec_ilpsolver.Bnb.solution in
   match Encode.decode enc solution with
-  | None -> { solution = None; preserved = 0; total = compared; optimal = true }
+  | None ->
+    { solution = None;
+      preserved = 0;
+      total = compared;
+      optimal = r.Ec_ilpsolver.Bnb.reason = Ec_util.Budget.Completed;
+      reason = r.Ec_ilpsolver.Bnb.reason }
   | Some a ->
     { solution = Some a;
       preserved = agreement_count reference a;
       total = compared;
-      optimal = solution.Ec_ilp.Solution.status = Ec_ilp.Solution.Optimal }
+      optimal = solution.Ec_ilp.Solution.status = Ec_ilp.Solution.Optimal;
+      reason = r.Ec_ilpsolver.Bnb.reason }
 
 (* --- SAT engine --------------------------------------------------- *)
 
@@ -90,7 +103,7 @@ let resolve_ilp options pins weights f ~reference =
    the same objective as the ILP engine, and a sequential-counter bound
    with binary search on the disagreement count finds the same optimum
    with the CDCL engine. *)
-let resolve_sat options pins f ~reference =
+let resolve_sat options pins budget f ~reference =
   let n = Ec_cnf.Formula.num_vars f in
   check_pins n pins;
   let compared = min n (Ec_cnf.Assignment.num_vars reference) in
@@ -183,6 +196,10 @@ let resolve_sat options pins f ~reference =
     !h
   in
   let options = { options with Ec_sat.Cdcl.phase_hint = Some phase_hint } in
+  (* One budget for the whole binary search: each probe solves under
+     what the previous probes left. *)
+  let remaining = ref (Ec_util.Budget.combine budget options.Ec_sat.Cdcl.budget) in
+  let stop_reason = ref Ec_util.Budget.Completed in
   let disagreements a =
     List.length
       (List.filter
@@ -197,9 +214,17 @@ let resolve_sat options pins f ~reference =
     let clauses = !base @ !d_clauses @ card.clauses in
     let num_vars = max (card.next_var - 1) (next_var - 1) in
     let big = Ec_cnf.Formula.create ~num_vars clauses in
-    match Ec_sat.Cdcl.solve_formula ~options big with
+    let options = { options with Ec_sat.Cdcl.budget = !remaining } in
+    let r = Ec_sat.Cdcl.solve_response ~options big in
+    remaining := Ec_util.Budget.consume !remaining r.Ec_sat.Cdcl.counters;
+    match r.Ec_sat.Cdcl.outcome with
     | Ec_sat.Outcome.Sat a -> Some (decode a)
-    | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> None
+    | Ec_sat.Outcome.Unsat -> None
+    | Ec_sat.Outcome.Unknown reason ->
+      (* Out of budget: treat as "no improvement found" but remember
+         that optimality was not proved. *)
+      stop_reason := reason;
+      None
   in
   let m = List.length d_lits in
   let rec search lo hi best =
@@ -219,17 +244,24 @@ let resolve_sat options pins f ~reference =
     | Some a -> search 0 (disagreements a) (Some a)
   in
   match result with
-  | None -> { solution = None; preserved = 0; total = compared; optimal = true }
+  | None ->
+    { solution = None;
+      preserved = 0;
+      total = compared;
+      optimal = !stop_reason = Ec_util.Budget.Completed;
+      reason = !stop_reason }
   | Some a ->
     { solution = Some a;
       preserved = agreement_count reference a;
       total = compared;
-      optimal = true }
+      optimal = !stop_reason = Ec_util.Budget.Completed;
+      reason = !stop_reason }
 
-let resolve ?(engine = default_engine) ?(pins = []) ?(weights = []) f ~reference =
+let resolve ?(engine = default_engine) ?(pins = []) ?(weights = [])
+    ?(budget = Ec_util.Budget.unlimited) f ~reference =
   match engine with
-  | Ilp_objective options -> resolve_ilp options pins weights f ~reference
+  | Ilp_objective options -> resolve_ilp options pins weights budget f ~reference
   | Sat_cardinality options ->
     if weights <> [] then
       invalid_arg "Preserving.resolve: weights require the Ilp_objective engine";
-    resolve_sat options pins f ~reference
+    resolve_sat options pins budget f ~reference

@@ -32,16 +32,22 @@ val default_engine : engine
 type result = {
   solution : Ec_cnf.Assignment.t option;
       (** [None] when the modified instance is unsatisfiable (or
-          unsatisfiable under the pins) *)
+          unsatisfiable under the pins), or the budget ran out before
+          any solution was found *)
   preserved : int;   (** variables agreeing with the reference *)
   total : int;       (** variables compared *)
   optimal : bool;    (** optimality of [preserved] was proved *)
+  reason : Ec_util.Budget.reason;
+      (** [Completed] when the engine finished; otherwise what cut the
+          optimization short (the best solution found so far is still
+          returned) *)
 }
 
 val resolve :
   ?engine:engine ->
   ?pins:int list ->
   ?weights:(int * float) list ->
+  ?budget:Ec_util.Budget.t ->
   Ec_cnf.Formula.t ->
   reference:Ec_cnf.Assignment.t ->
   result
@@ -52,7 +58,10 @@ val resolve :
     decision costs ten re-spins downstream" becomes weight 10 — the
     quantitative form of §7's user-specified preservation.  Weighted
     objectives require the [Ilp_objective] engine; [preserved]/[total]
-    still report the unweighted count.
+    still report the unweighted count.  [budget] caps the whole
+    optimization; the cardinality engine's binary-search probes share
+    the one allowance, and a cutoff returns the best incumbent found
+    with [optimal = false].
     @raise Invalid_argument if a pinned or weighted variable is out of
     range, a weight is negative, or weights are passed to the
     cardinality engine. *)

@@ -1,1 +1,1 @@
-lib/harness/protocol.mli: Ec_cnf Ec_ilpsolver Ec_instances
+lib/harness/protocol.mli: Ec_cnf Ec_ilpsolver Ec_instances Ec_util

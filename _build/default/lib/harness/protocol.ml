@@ -2,8 +2,7 @@ type config = {
   scale : float;
   trials : int;
   seed : int;
-  bnb_node_limit : int option;
-  time_limit_s : float option;
+  budget : Ec_util.Budget.t;
   include_large : bool;
   enabled_initial : bool;
 }
@@ -12,8 +11,7 @@ let default_config =
   { scale = 0.15;
     trials = 10;
     seed = 20020610; (* DAC 2002 opened June 10 *)
-    bnb_node_limit = Some 5_000_000;
-    time_limit_s = Some 30.0;
+    budget = Ec_util.Budget.create ~time_s:30.0 ~nodes:5_000_000 ();
     include_large = true;
     enabled_initial = true }
 
@@ -21,20 +19,18 @@ let paper_config =
   { scale = 1.0;
     trials = 10;
     seed = 20020610;
-    bnb_node_limit = None;
-    time_limit_s = None;
+    budget = Ec_util.Budget.unlimited;
     include_large = true;
     enabled_initial = true }
 
 let bnb_options config =
-  { Ec_ilpsolver.Bnb.default_options with
-    node_limit = config.bnb_node_limit;
-    time_limit_s = config.time_limit_s }
+  { Ec_ilpsolver.Bnb.default_options with budget = config.budget }
 
 let heuristic_options config =
   { Ec_ilpsolver.Heuristic.default_options with
     seed = config.seed;
-    stop_at_first_feasible = true }
+    stop_at_first_feasible = true;
+    budget = config.budget }
 
 let instances config =
   let suite =

@@ -15,8 +15,10 @@ type config = {
   scale : float;           (** instance shrink factor, 1.0 = paper size *)
   trials : int;            (** trials per instance for Tables 2/3 *)
   seed : int;
-  bnb_node_limit : int option; (** safety cap for exact solves *)
-  time_limit_s : float option; (** wall-clock cap per exact solve *)
+  budget : Ec_util.Budget.t;
+      (** safety cap applied to every solve the protocol issues (wall
+          clock, B&B nodes, heuristic flips — one record for all
+          dimensions, see {!Ec_util.Budget}) *)
   include_large : bool;    (** run the heuristic-tier instances too *)
   enabled_initial : bool;
       (** produce the initial solution through enabling EC, as in the

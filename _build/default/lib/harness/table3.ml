@@ -35,11 +35,13 @@ let run_instance config rng (inst : Ec_instances.Registry.instance) =
          itself is allowed to break — that is what Table 3 measures. *)
       let satisfiable f =
         let options =
-          { Ec_sat.Cdcl.default_options with max_conflicts = Some 200_000 }
+          { Ec_sat.Cdcl.default_options with
+            budget = Ec_util.Budget.create ~conflicts:200_000 ()
+          }
         in
         match Ec_sat.Cdcl.solve_formula ~options f with
         | Ec_sat.Outcome.Sat _ -> true
-        | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown -> false
+        | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> false
       in
       let script =
         Ec_cnf.Change.preserving_ec_script ~satisfiable rng inst.formula ~reference:a0

@@ -1,1 +1,1 @@
-lib/ilpsolver/bnb.ml: Array Ec_ilp Ec_simplex Ec_util Float Hashtbl List Queue Rows Unix
+lib/ilpsolver/bnb.ml: Array Ec_ilp Ec_simplex Ec_util Float Hashtbl List Queue Rows

@@ -1,1 +1,1 @@
-lib/ilpsolver/bnb.mli: Ec_ilp
+lib/ilpsolver/bnb.mli: Ec_ilp Ec_util

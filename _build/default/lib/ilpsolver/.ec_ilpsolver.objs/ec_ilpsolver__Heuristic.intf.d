@@ -1,1 +1,1 @@
-lib/ilpsolver/heuristic.mli: Ec_ilp
+lib/ilpsolver/heuristic.mli: Ec_ilp Ec_util

@@ -4,8 +4,7 @@ type options = {
   branching : branching;
   use_lp_bounding : bool;
   lp_max_depth : int;
-  node_limit : int option;
-  time_limit_s : float option;
+  budget : Ec_util.Budget.t;
   greedy_completion : bool;
   tie_seed : int option;
 }
@@ -14,8 +13,7 @@ let default_options =
   { branching = Most_constrained;
     use_lp_bounding = false;
     lp_max_depth = 4;
-    node_limit = None;
-    time_limit_s = None;
+    budget = Ec_util.Budget.unlimited;
     greedy_completion = true;
     tie_seed = None }
 
@@ -27,11 +25,18 @@ type stats = {
   lp_prunes : int;
 }
 
+type response = {
+  solution : Ec_ilp.Solution.t;
+  reason : Ec_util.Budget.reason;
+  stats : stats;
+  counters : Ec_util.Budget.counters;
+}
+
 let eps = 1e-9
 
 exception Conflict
 
-exception Out_of_budget
+exception Out_of_budget of Ec_util.Budget.reason
 
 type state = {
   sys : Rows.t;
@@ -50,8 +55,8 @@ type state = {
   mutable propagated_fixes : int;
   mutable lp_calls : int;
   mutable lp_prunes : int;
-  mutable deadline : float;
-  mutable node_budget : int;
+  mutable budget : Ec_util.Budget.t;
+  mutable gauge : Ec_util.Budget.gauge;
   mutable tie_rng : Ec_util.Rng.t option;
 }
 
@@ -80,8 +85,8 @@ let make_state sys =
     propagated_fixes = 0;
     lp_calls = 0;
     lp_prunes = 0;
-    deadline = infinity;
-    node_budget = max_int;
+    budget = Ec_util.Budget.unlimited;
+    gauge = Ec_util.Budget.start Ec_util.Budget.unlimited;
     tie_rng = None }
 
 (* Fixing a variable updates row activities and the objective
@@ -276,11 +281,19 @@ let lp_prune st =
   let b = Array.of_list (List.map snd rows) in
   (* We minimize Σ obj over free vars: maximize the negation. *)
   let c = Array.map (fun v -> -.st.sys.Rows.obj.(v)) free in
-  match Ec_simplex.Simplex.solve_canonical ~a ~b ~c with
+  (* The LP inherits what is left of the node's budget: the deadline
+     shrinks by the time already spent; an [iterations] allowance caps
+     pivots per bounding call. *)
+  let lp_budget =
+    Ec_util.Budget.consume st.budget
+      { Ec_util.Budget.zero with spent_wall_s = Ec_util.Budget.elapsed_s st.gauge }
+  in
+  match Ec_simplex.Simplex.solve_canonical ~budget:lp_budget ~a ~b ~c () with
   | Ec_simplex.Simplex.Infeasible ->
     st.lp_prunes <- st.lp_prunes + 1;
     true
   | Ec_simplex.Simplex.Unbounded -> false
+  | Ec_simplex.Simplex.Interrupted _ -> false
   | Ec_simplex.Simplex.Optimal { objective; _ } ->
     let lower = st.fixed_cost -. objective in
     if lower >= st.incumbent_obj -. 1e-6 then begin
@@ -290,9 +303,9 @@ let lp_prune st =
     else false
 
 let check_budget st =
-  if st.nodes > st.node_budget then raise Out_of_budget;
-  if st.deadline < infinity && st.nodes land 255 = 0 && Unix.gettimeofday () > st.deadline
-  then raise Out_of_budget
+  match Ec_util.Budget.check st.gauge ~conflicts:st.conflicts ~nodes:st.nodes with
+  | Some r -> raise (Out_of_budget r)
+  | None -> ()
 
 let rec search st options ~stop_at_first ~depth =
   st.nodes <- st.nodes + 1;
@@ -339,27 +352,27 @@ let rec search st options ~stop_at_first ~depth =
 let run ?(options = default_options) ~stop_at_first model =
   let sys = Rows.of_model model in
   let st = make_state sys in
-  (match options.node_limit with Some n -> st.node_budget <- n | None -> ());
+  st.budget <- options.budget;
+  st.gauge <- Ec_util.Budget.start options.budget;
+  let pivots0 = Ec_simplex.Simplex.iterations_performed () in
   (match options.tie_seed with
   | Some seed -> st.tie_rng <- Some (Ec_util.Rng.create seed)
   | None -> ());
-  (match options.time_limit_s with
-  | Some s -> st.deadline <- Unix.gettimeofday () +. s
-  | None -> ());
-  let complete =
+  let complete, reason =
     (* Root propagation: every row starts dirty. *)
     let dirty = Queue.create () in
     Array.iteri (fun r _ -> Queue.push r dirty) sys.Rows.rows;
     match propagate st dirty with
     | () -> (
       match search st options ~stop_at_first ~depth:0 with
-      | () -> true
+      | () -> (true, Ec_util.Budget.Completed)
       | exception Exit ->
         (* First solution requested and found: a point exists but its
            optimality was not proved. *)
-        false
-      | exception Out_of_budget -> false)
-    | exception Conflict -> true (* root conflict: proved infeasible *)
+        (false, Ec_util.Budget.Completed)
+      | exception Out_of_budget r -> (false, r))
+    | exception Conflict -> (true, Ec_util.Budget.Completed)
+    (* root conflict: proved infeasible *)
   in
   let stats =
     { nodes = st.nodes;
@@ -380,8 +393,24 @@ let run ?(options = default_options) ~stop_at_first model =
     | None ->
       if complete then Ec_ilp.Solution.infeasible else Ec_ilp.Solution.unknown
   in
-  (solution, stats)
+  { solution;
+    reason;
+    stats;
+    counters =
+      { Ec_util.Budget.zero with
+        spent_conflicts = st.conflicts;
+        spent_nodes = st.nodes;
+        spent_pivots = Ec_simplex.Simplex.iterations_performed () - pivots0;
+        spent_wall_s = Ec_util.Budget.elapsed_s st.gauge } }
 
-let solve ?options model = run ?options ~stop_at_first:false model
+let solve_response ?options model = run ?options ~stop_at_first:false model
 
-let solve_decision ?options model = run ?options ~stop_at_first:true model
+let solve_decision_response ?options model = run ?options ~stop_at_first:true model
+
+let solve ?options model =
+  let r = solve_response ?options model in
+  (r.solution, r.stats)
+
+let solve_decision ?options model =
+  let r = solve_decision_response ?options model in
+  (r.solution, r.stats)

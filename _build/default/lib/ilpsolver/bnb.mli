@@ -24,8 +24,10 @@ type options = {
   branching : branching;
   use_lp_bounding : bool;
   lp_max_depth : int;      (** LP bound applied at depths <= this *)
-  node_limit : int option;
-  time_limit_s : float option;
+  budget : Ec_util.Budget.t;
+      (** nodes and propagation conflicts draw on the shared budget;
+          the deadline and cancellation flag are checked once per node,
+          and LP bounding calls inherit the remaining allowance *)
   greedy_completion : bool;
       (** when every row is satisfied under any completion of the
           current partial point, finish it greedily by objective sign
@@ -49,10 +51,27 @@ type stats = {
   lp_prunes : int;
 }
 
-val solve : ?options:options -> Ec_ilp.Model.t -> Ec_ilp.Solution.t * stats
+type response = {
+  solution : Ec_ilp.Solution.t;
+  reason : Ec_util.Budget.reason;
+      (** [Completed] when the search finished (or stopped at the first
+          feasible point as requested); otherwise the budget dimension
+          that interrupted it *)
+  stats : stats;
+  counters : Ec_util.Budget.counters;
+}
+
+val solve_response : ?options:options -> Ec_ilp.Model.t -> response
 (** @raise Invalid_argument if the model has continuous variables. *)
 
+val solve_decision_response : ?options:options -> Ec_ilp.Model.t -> response
+(** Like {!solve_response} but stops at the first feasible point
+    regardless of the objective (the objective still guides value
+    ordering).  This is the mode used when the encoded question is
+    satisfiability. *)
+
+val solve : ?options:options -> Ec_ilp.Model.t -> Ec_ilp.Solution.t * stats
+(** {!solve_response} without the control-plane fields. *)
+
 val solve_decision : ?options:options -> Ec_ilp.Model.t -> Ec_ilp.Solution.t * stats
-(** Like {!solve} but stops at the first feasible point regardless of
-    the objective (the objective still guides value ordering).  This is
-    the mode used when the encoded question is satisfiability. *)
+(** {!solve_decision_response} without the control-plane fields. *)

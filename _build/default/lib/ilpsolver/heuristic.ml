@@ -6,17 +6,28 @@ type options = {
   seed : int;
   stop_at_first_feasible : bool;
   initial_point : int array option;
+  budget : Ec_util.Budget.t;
 }
 
 let default_options =
   { max_flips = 200_000; max_restarts = 10; noise = 0.12; tabu_tenure = 5; seed = 0x5EED;
-    stop_at_first_feasible = false; initial_point = None }
+    stop_at_first_feasible = false; initial_point = None;
+    budget = Ec_util.Budget.unlimited }
 
 type stats = {
   flips : int;
   restarts : int;
   feasible_hits : int;
 }
+
+type response = {
+  solution : Ec_ilp.Solution.t;
+  reason : Ec_util.Budget.reason;
+  stats : stats;
+  counters : Ec_util.Budget.counters;
+}
+
+exception Cut of Ec_util.Budget.reason
 
 let eps = 1e-9
 
@@ -117,7 +128,8 @@ let pick_move rng opts s row =
     if !best = -1 then Some vars.(Ec_util.Rng.int rng (Array.length vars)) else Some !best
   end
 
-let solve ?(options = default_options) model =
+let solve_response ?(options = default_options) model =
+  let gauge = Ec_util.Budget.start options.budget in
   let sys = Rows.of_model model in
   let nrows = Array.length sys.Rows.rows in
   let s =
@@ -136,6 +148,7 @@ let solve ?(options = default_options) model =
   let feasible_hits = ref 0 in
   let total_flips = ref 0 in
   let restarts_done = ref 0 in
+  let reason = ref Ec_util.Budget.Completed in
   (try
      for restart = 1 to max 1 options.max_restarts do
        restarts_done := restart;
@@ -152,6 +165,9 @@ let solve ?(options = default_options) model =
        | Some _ | None -> random_point rng s);
        let flips = ref 0 in
        while !flips < options.max_flips do
+         (match Ec_util.Budget.check gauge ~iterations:!total_flips with
+         | Some r -> raise (Cut r)
+         | None -> ());
          if s.nviolated = 0 then begin
            incr feasible_hits;
            let obj = Rows.internal_objective sys s.point in
@@ -180,7 +196,9 @@ let solve ?(options = default_options) model =
          incr total_flips
        done
      done
-   with Exit -> ());
+   with
+  | Exit -> ()
+  | Cut r -> reason := r);
   let stats = { flips = !total_flips; restarts = !restarts_done; feasible_hits = !feasible_hits } in
   let solution =
     match !best with
@@ -190,4 +208,15 @@ let solve ?(options = default_options) model =
         objective = Rows.report_objective sys !best_obj }
     | None -> Ec_ilp.Solution.unknown
   in
-  (solution, stats)
+  { solution;
+    reason = !reason;
+    stats;
+    counters =
+      { Ec_util.Budget.zero with
+        spent_restarts = !restarts_done;
+        spent_iterations = !total_flips;
+        spent_wall_s = Ec_util.Budget.elapsed_s gauge } }
+
+let solve ?options model =
+  let r = solve_response ?options model in
+  (r.solution, r.stats)

@@ -26,6 +26,11 @@ type options = {
   initial_point : int array option;
       (** warm start for the first restart: repair/extend an existing
           solution instead of starting from a random point *)
+  budget : Ec_util.Budget.t;
+      (** flips draw on the [iterations] dimension; the deadline and
+          cancellation flag are checked once per flip.  [max_flips] and
+          [max_restarts] stay as search-shape parameters; the budget is
+          the hard cross-engine cap. *)
 }
 
 val default_options : options
@@ -36,5 +41,18 @@ type stats = {
   feasible_hits : int;      (** number of times a feasible point was reached *)
 }
 
-val solve : ?options:options -> Ec_ilp.Model.t -> Ec_ilp.Solution.t * stats
+type response = {
+  solution : Ec_ilp.Solution.t;
+  reason : Ec_util.Budget.reason;
+      (** [Completed] when the restart schedule ran dry or the first
+          feasible point was returned as requested — this engine is
+          incomplete, so [Completed] does not imply a verdict *)
+  stats : stats;
+  counters : Ec_util.Budget.counters;
+}
+
+val solve_response : ?options:options -> Ec_ilp.Model.t -> response
 (** @raise Invalid_argument if the model has continuous variables. *)
+
+val solve : ?options:options -> Ec_ilp.Model.t -> Ec_ilp.Solution.t * stats
+(** {!solve_response} without the control-plane fields. *)

@@ -1,1 +1,1 @@
-lib/sat/cdcl.mli: Ec_cnf Outcome
+lib/sat/cdcl.mli: Ec_cnf Ec_util Outcome

@@ -1,1 +1,1 @@
-lib/sat/dpll.ml: Array Ec_cnf Hashtbl List Outcome
+lib/sat/dpll.ml: Array Ec_cnf Ec_util Hashtbl List Outcome

@@ -1,1 +1,1 @@
-lib/sat/dpll.mli: Ec_cnf Outcome
+lib/sat/dpll.mli: Ec_cnf Ec_util Outcome

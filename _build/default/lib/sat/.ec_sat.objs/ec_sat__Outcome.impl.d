@@ -1,1 +1,1 @@
-lib/sat/outcome.ml: Ec_cnf
+lib/sat/outcome.ml: Ec_cnf Ec_util

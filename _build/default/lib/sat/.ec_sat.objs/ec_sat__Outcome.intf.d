@@ -1,1 +1,1 @@
-lib/sat/outcome.mli: Ec_cnf
+lib/sat/outcome.mli: Ec_cnf Ec_util

@@ -1,7 +1,7 @@
 type options = {
   var_decay : float;
   restart_base : int;
-  max_conflicts : int option;
+  budget : Ec_util.Budget.t;
   phase_hint : Ec_cnf.Assignment.t option;
   seed : int;
 }
@@ -9,7 +9,7 @@ type options = {
 let default_options =
   { var_decay = 0.95;
     restart_base = 100;
-    max_conflicts = None;
+    budget = Ec_util.Budget.unlimited;
     phase_hint = None;
     seed = 91 }
 
@@ -20,6 +20,13 @@ type stats = {
   restarts : int;
   learnt_clauses : int;
   deleted_clauses : int;
+}
+
+type response = {
+  outcome : Outcome.t;
+  reason : Ec_util.Budget.reason;
+  stats : stats;
+  counters : Ec_util.Budget.counters;
 }
 
 (* Internal encoding: variable v in [0,n); literal 2v positive, 2v+1
@@ -391,29 +398,35 @@ let rec luby i =
   if (1 lsl k) - 1 = i then float_of_int (1 lsl (k - 1))
   else luby (i - (1 lsl (k - 1)) + 1)
 
-type search_result = R_sat | R_unsat | R_unknown
+type search_result = R_sat | R_unsat | R_unknown of Ec_util.Budget.reason
 
-let search s (options : options) assumptions =
-  let conflict_budget =
-    match options.max_conflicts with Some n -> n | None -> max_int
-  in
+(* [check] reports the first exhausted budget dimension relative to the
+   start of this solve (sessions keep cumulative counters, so the caller
+   supplies the baseline). *)
+let search s (options : options) ~check assumptions =
+  let spent () = check () in
   let restart_limit = ref (luby 1 *. float_of_int options.restart_base) in
   let conflicts_since_restart = ref 0 in
   let max_learnts = ref (max 4000 (List.length s.clauses / 2)) in
   let assumptions = Array.of_list (List.map lit_of_dimacs assumptions) in
   let result = ref None in
+  (* A budget exhausted (or cancelled) before the solve starts stops it
+     even on trivially decidable formulas. *)
+  (match spent () with Some r -> result := Some (R_unknown r) | None -> ());
   while !result = None do
     match propagate s with
     | Some confl ->
       s.stat_conflicts <- s.stat_conflicts + 1;
       incr conflicts_since_restart;
       if s.ndecisions = 0 then result := Some R_unsat
-      else if s.stat_conflicts >= conflict_budget then result := Some R_unknown
       else begin
-        let lits, bt_level, lbd = analyze s confl in
-        backtrack s bt_level;
-        learn s lits lbd;
-        var_decay_tick s
+        match spent () with
+        | Some r -> result := Some (R_unknown r)
+        | None ->
+          let lits, bt_level, lbd = analyze s confl in
+          backtrack s bt_level;
+          learn s lits lbd;
+          var_decay_tick s
       end
     | None ->
       if s.trail_len = s.nvars then begin
@@ -458,9 +471,12 @@ let search s (options : options) assumptions =
         let v = pick () in
         if v = -1 then result := Some R_sat
         else begin
-          s.stat_decisions <- s.stat_decisions + 1;
-          new_decision_level s;
-          enqueue s ((2 * v) lor (if s.phase.(v) then 0 else 1)) None
+          match spent () with
+          | Some r -> result := Some (R_unknown r)
+          | None ->
+            s.stat_decisions <- s.stat_decisions + 1;
+            new_decision_level s;
+            enqueue s ((2 * v) lor (if s.phase.(v) then 0 else 1)) None
         end
       end
   done;
@@ -487,7 +503,15 @@ let stats_of s =
     learnt_clauses = s.stat_learnt;
     deleted_clauses = s.stat_deleted }
 
-let solve ?(options = default_options) ?(assumptions = []) formula =
+let counters_of s ~wall_s : Ec_util.Budget.counters =
+  { Ec_util.Budget.zero with
+    spent_conflicts = s.stat_conflicts;
+    spent_nodes = s.stat_decisions;
+    spent_restarts = s.stat_restarts;
+    spent_wall_s = wall_s }
+
+let solve_response ?(options = default_options) ?(assumptions = []) formula =
+  let gauge = Ec_util.Budget.start options.budget in
   let s = create_solver options formula in
   let contradiction = ref false in
   Ec_cnf.Formula.iteri
@@ -495,14 +519,25 @@ let solve ?(options = default_options) ?(assumptions = []) formula =
       if not !contradiction then
         if not (load_clause s (Ec_cnf.Clause.lits c)) then contradiction := true)
     formula;
-  if !contradiction then (Outcome.Unsat, stats_of s)
-  else
-    match search s options assumptions with
-    | R_sat ->
-      let a = extract_assignment s in
-      (Outcome.Sat a, stats_of s)
-    | R_unsat -> (Outcome.Unsat, stats_of s)
-    | R_unknown -> (Outcome.Unknown, stats_of s)
+  let check () =
+    Ec_util.Budget.check gauge ~conflicts:s.stat_conflicts ~nodes:s.stat_decisions
+  in
+  let outcome, reason =
+    if !contradiction then (Outcome.Unsat, Ec_util.Budget.Completed)
+    else
+      match search s options ~check assumptions with
+      | R_sat -> (Outcome.Sat (extract_assignment s), Ec_util.Budget.Completed)
+      | R_unsat -> (Outcome.Unsat, Ec_util.Budget.Completed)
+      | R_unknown r -> (Outcome.Unknown r, r)
+  in
+  { outcome;
+    reason;
+    stats = stats_of s;
+    counters = counters_of s ~wall_s:(Ec_util.Budget.elapsed_s gauge) }
+
+let solve ?options ?assumptions formula =
+  let r = solve_response ?options ?assumptions formula in
+  (r.outcome, r.stats)
 
 let solve_formula ?options formula = fst (solve ?options formula)
 
@@ -574,7 +609,17 @@ module Session = struct
     if t.dead then Outcome.Unsat
     else begin
       backtrack t.s 0;
-      match search t.s t.options assumptions with
+      (* Per-solve gauge: the session's budget is an allowance for each
+         [solve] call, not for the session's whole lifetime, so the
+         cumulative session counters are rebased here. *)
+      let gauge = Ec_util.Budget.start t.options.budget in
+      let conflicts0 = t.s.stat_conflicts and nodes0 = t.s.stat_decisions in
+      let check () =
+        Ec_util.Budget.check gauge
+          ~conflicts:(t.s.stat_conflicts - conflicts0)
+          ~nodes:(t.s.stat_decisions - nodes0)
+      in
+      match search t.s t.options ~check assumptions with
       | R_sat ->
         (* Restrict the capacity-wide model to the named variables. *)
         let full = extract_assignment t.s in
@@ -586,7 +631,7 @@ module Session = struct
       | R_unsat ->
         if assumptions = [] then t.dead <- true;
         Outcome.Unsat
-      | R_unknown -> Outcome.Unknown
+      | R_unknown r -> Outcome.Unknown r
     end
 
   let solve_count t = t.solves

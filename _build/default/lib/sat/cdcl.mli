@@ -18,7 +18,9 @@
 type options = {
   var_decay : float;        (** VSIDS decay, e.g. 0.95 *)
   restart_base : int;       (** conflicts per Luby unit, e.g. 100 *)
-  max_conflicts : int option; (** budget; [None] = run to completion *)
+  budget : Ec_util.Budget.t;
+      (** shared resource budget; conflicts and decisions ([nodes])
+          draw on it, the deadline is checked on a coarse tick *)
   phase_hint : Ec_cnf.Assignment.t option;
       (** initial saved phases; DC variables default to false *)
   seed : int;               (** randomizes initial variable order slightly *)
@@ -35,13 +37,28 @@ type stats = {
   deleted_clauses : int;
 }
 
-val solve :
+type response = {
+  outcome : Outcome.t;
+  reason : Ec_util.Budget.reason;
+      (** [Completed] on a definitive answer, otherwise the budget
+          dimension that cut the solve off *)
+  stats : stats;
+  counters : Ec_util.Budget.counters;
+}
+
+val solve_response :
   ?options:options -> ?assumptions:Ec_cnf.Lit.t list -> Ec_cnf.Formula.t ->
-  Outcome.t * stats
+  response
 (** Satisfiability of the formula under the assumptions.  [Sat]
     carries a total assignment over the formula's variables.  [Unsat]
     under assumptions means no model extends them (the formula itself
     may be satisfiable). *)
+
+val solve :
+  ?options:options -> ?assumptions:Ec_cnf.Lit.t list -> Ec_cnf.Formula.t ->
+  Outcome.t * stats
+(** {!solve_response} without the control-plane fields.  Thin wrapper
+    kept for compatibility. *)
 
 val solve_formula :
   ?options:options -> Ec_cnf.Formula.t -> Outcome.t

@@ -1,13 +1,20 @@
-type options = { node_limit : int option }
+type options = { budget : Ec_util.Budget.t }
 
-let default_options = { node_limit = None }
+let default_options = { budget = Ec_util.Budget.unlimited }
 
-exception Budget
+type response = {
+  outcome : Outcome.t;
+  reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
+}
+
+exception Budget of Ec_util.Budget.reason
 
 (* Simplified formula view: clauses as literal lists, absent clauses
    satisfied.  Assignments accumulate in an association stack. *)
-let solve ?(options = default_options) formula =
-  let budget = ref (match options.node_limit with Some n -> n | None -> max_int) in
+let solve_response ?(options = default_options) formula =
+  let gauge = Ec_util.Budget.start options.budget in
+  let nodes = ref 0 in
   let module A = Ec_cnf.Assignment in
   let module C = Ec_cnf.Clause in
   let n = Ec_cnf.Formula.num_vars formula in
@@ -56,8 +63,10 @@ let solve ?(options = default_options) formula =
       tbl None
   in
   let rec search clauses trail =
-    decr budget;
-    if !budget < 0 then raise Budget;
+    incr nodes;
+    (match Ec_util.Budget.check gauge ~nodes:!nodes with
+    | Some r -> raise (Budget r)
+    | None -> ());
     match clauses with
     | [] -> Some trail
     | _ -> (
@@ -88,17 +97,28 @@ let solve ?(options = default_options) formula =
           | Some _ as r -> r
           | None -> try_lit (Ec_cnf.Lit.negate l))))
   in
-  if Ec_cnf.Formula.has_empty_clause formula then Outcome.Unsat
-  else
-    match search initial [] with
-    | Some trail ->
-      let a =
-        List.fold_left
-          (fun a l ->
-            A.set a (Ec_cnf.Lit.var l)
-              (if Ec_cnf.Lit.is_positive l then A.True else A.False))
-          (A.make n) trail
-      in
-      Outcome.Sat a
-    | None -> Outcome.Unsat
-    | exception Budget -> Outcome.Unknown
+  let outcome, reason =
+    if Ec_cnf.Formula.has_empty_clause formula then
+      (Outcome.Unsat, Ec_util.Budget.Completed)
+    else
+      match search initial [] with
+      | Some trail ->
+        let a =
+          List.fold_left
+            (fun a l ->
+              A.set a (Ec_cnf.Lit.var l)
+                (if Ec_cnf.Lit.is_positive l then A.True else A.False))
+            (A.make n) trail
+        in
+        (Outcome.Sat a, Ec_util.Budget.Completed)
+      | None -> (Outcome.Unsat, Ec_util.Budget.Completed)
+      | exception Budget r -> (Outcome.Unknown r, r)
+  in
+  { outcome;
+    reason;
+    counters =
+      { Ec_util.Budget.zero with
+        spent_nodes = !nodes;
+        spent_wall_s = Ec_util.Budget.elapsed_s gauge } }
+
+let solve ?options formula = (solve_response ?options formula).outcome

@@ -7,11 +7,22 @@
     questions is the backbone of the test suite. *)
 
 type options = {
-  node_limit : int option;
+  budget : Ec_util.Budget.t;
+      (** search nodes draw on the [nodes] dimension; the deadline and
+          cancellation flag are checked once per node *)
 }
 
 val default_options : options
 
+type response = {
+  outcome : Outcome.t;
+  reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
+}
+
+val solve_response : ?options:options -> Ec_cnf.Formula.t -> response
+
 val solve : ?options:options -> Ec_cnf.Formula.t -> Outcome.t
-(** Total assignments for variables the search touched; variables never
+(** {!solve_response} without the control-plane fields.  Total
+    assignments for variables the search touched; variables never
     constrained come back as DC. *)

@@ -1,11 +1,14 @@
 type t =
   | Sat of Ec_cnf.Assignment.t
   | Unsat
-  | Unknown
+  | Unknown of Ec_util.Budget.reason
 
-let is_sat = function Sat _ -> true | Unsat | Unknown -> false
+let is_sat = function Sat _ -> true | Unsat | Unknown _ -> false
+
+let unknown_reason = function Sat _ | Unsat -> None | Unknown r -> Some r
 
 let to_string = function
   | Sat _ -> "sat"
   | Unsat -> "unsat"
-  | Unknown -> "unknown"
+  | Unknown Ec_util.Budget.Completed -> "unknown"
+  | Unknown r -> "unknown (" ^ Ec_util.Budget.reason_to_string r ^ ")"

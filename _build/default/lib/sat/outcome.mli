@@ -3,8 +3,13 @@
 type t =
   | Sat of Ec_cnf.Assignment.t
   | Unsat
-  | Unknown  (** budget exhausted *)
+  | Unknown of Ec_util.Budget.reason
+      (** why the engine stopped without an answer: a budget dimension
+          ran out, the solve was cancelled, or — for incomplete engines
+          and undecodable encodings — [Completed] without a verdict *)
 
 val is_sat : t -> bool
+
+val unknown_reason : t -> Ec_util.Budget.reason option
 
 val to_string : t -> string

@@ -336,4 +336,4 @@ let solve_with_preprocessing ?options formula =
   | `Simplified r -> (
     match Cdcl.solve_formula ?options r.formula with
     | Outcome.Sat a -> Outcome.Sat (reconstruct r a)
-    | (Outcome.Unsat | Outcome.Unknown) as o -> o)
+    | (Outcome.Unsat | Outcome.Unknown _) as o -> o)

@@ -1,1 +1,1 @@
-lib/simplex/simplex.ml: Array Ec_ilp Hashtbl List
+lib/simplex/simplex.ml: Array Ec_ilp Ec_util Hashtbl List

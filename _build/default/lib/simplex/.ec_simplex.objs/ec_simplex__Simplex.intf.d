@@ -1,1 +1,1 @@
-lib/simplex/simplex.mli: Ec_ilp
+lib/simplex/simplex.mli: Ec_ilp Ec_util

@@ -2,6 +2,9 @@ type result =
   | Optimal of { point : float array; objective : float }
   | Infeasible
   | Unbounded
+  | Interrupted of Ec_util.Budget.reason
+
+exception Cut_exn of Ec_util.Budget.reason
 
 let eps_pivot = 1e-9
 let eps_feas = 1e-7
@@ -82,7 +85,9 @@ let leaving t col =
 
 type phase_outcome = Opt | Unbound
 
-let optimize t ~allowed =
+(* [check] is consulted before each pivot; a budget verdict aborts the
+   phase via {!Cut_exn}. *)
+let optimize t ~allowed ~check =
   let bland_threshold = 50 * (Array.length t.rows + t.ncols + 10) in
   let rec loop iter =
     let bland = iter > bland_threshold in
@@ -92,13 +97,20 @@ let optimize t ~allowed =
       let row = leaving t col in
       if row = -1 then Unbound
       else begin
+        (match check () with Some r -> raise (Cut_exn r) | None -> ());
         pivot t ~row ~col;
         loop (iter + 1)
       end
   in
   loop 0
 
-let solve_canonical ~a ~b ~c =
+let solve_canonical ?(budget = Ec_util.Budget.unlimited) ~a ~b ~c () =
+  let gauge = Ec_util.Budget.start budget in
+  let pivots0 = !total_iterations in
+  let check () =
+    Ec_util.Budget.check gauge ~iterations:(!total_iterations - pivots0)
+  in
+  try
   let m = Array.length a in
   let n = Array.length c in
   if Array.length b <> m then invalid_arg "Simplex: b length mismatch";
@@ -146,7 +158,7 @@ let solve_canonical ~a ~b ~c =
       (* Artificial columns themselves must not re-enter: obj entry for
          them is 1 + ... ; mark them disallowed instead. *)
       let is_art j = j >= n + m in
-      (match optimize t ~allowed:(fun j -> not (is_art j)) with
+      (match optimize t ~allowed:(fun j -> not (is_art j)) ~check with
       | Unbound -> (* Phase I is bounded by construction *) assert false
       | Opt -> ());
       (* Residual infeasibility = value still carried by basic
@@ -196,7 +208,7 @@ let solve_canonical ~a ~b ~c =
         end)
       t.basis;
     let is_art j = j >= n + m in
-    match optimize t ~allowed:(fun j -> not (is_art j)) with
+    match optimize t ~allowed:(fun j -> not (is_art j)) ~check with
     | Unbound -> Unbounded
     | Opt ->
       let point = Array.make n 0.0 in
@@ -208,8 +220,9 @@ let solve_canonical ~a ~b ~c =
       let objective = Array.to_list (Array.mapi (fun j cj -> cj *. point.(j)) c) |> List.fold_left ( +. ) 0.0 in
       Optimal { point; objective }
   end
+  with Cut_exn r -> Interrupted r
 
-let solve_model model =
+let solve_model ?budget model =
   let n = Ec_ilp.Model.num_vars model in
   (* Gather upper bounds as extra rows; lower bounds must be 0. *)
   let extra_rows = ref [] in
@@ -253,9 +266,10 @@ let solve_model model =
   List.iter (fun (cf, v) -> c.(v) <- c.(v) +. cf) (Ec_ilp.Linexpr.terms obj_expr);
   let flip = match sense with Ec_ilp.Model.Minimize -> -1.0 | Ec_ilp.Model.Maximize -> 1.0 in
   let c_solve = Array.map (fun x -> flip *. x) c in
-  match solve_canonical ~a ~b ~c:c_solve with
+  match solve_canonical ?budget ~a ~b ~c:c_solve () with
   | Infeasible -> Ec_ilp.Solution.infeasible
   | Unbounded -> Ec_ilp.Solution.unbounded
+  | Interrupted _ -> Ec_ilp.Solution.unknown
   | Optimal { point; objective } ->
     let objective = (flip *. objective) +. Ec_ilp.Linexpr.const_part obj_expr in
     { Ec_ilp.Solution.status = Ec_ilp.Solution.Optimal; values = point; objective }

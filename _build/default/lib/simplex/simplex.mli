@@ -16,22 +16,28 @@ type result =
   | Optimal of { point : float array; objective : float }
   | Infeasible
   | Unbounded
+  | Interrupted of Ec_util.Budget.reason
+      (** the budget cut the solve off mid-phase; no verdict *)
 
 val solve_canonical :
-  a:float array array -> b:float array -> c:float array -> result
-(** [solve_canonical ~a ~b ~c] solves [max c·x, a·x <= b, x >= 0].
+  ?budget:Ec_util.Budget.t ->
+  a:float array array -> b:float array -> c:float array -> unit -> result
+(** [solve_canonical ~a ~b ~c ()] solves [max c·x, a·x <= b, x >= 0].
     Rows of [a] must all have length [Array.length c]; [b] matches the
     row count.  Negative entries of [b] are handled by Phase I.
+    Pivots draw on the budget's [iterations] dimension; the deadline
+    and cancellation flag are checked once per pivot.
     @raise Invalid_argument on dimension mismatches. *)
 
-val solve_model : Ec_ilp.Model.t -> Ec_ilp.Solution.t
+val solve_model : ?budget:Ec_util.Budget.t -> Ec_ilp.Model.t -> Ec_ilp.Solution.t
 (** LP-solve a model, treating [Binary] variables as continuous in
     [0, 1] (callers wanting the relaxation of an ILP can pass the model
     directly).  Lower bounds must be 0 — the encodings in this
     reproduction never need shifted variables.
-    Minimization objectives are negated internally.
+    Minimization objectives are negated internally.  A budget
+    interruption comes back as {!Ec_ilp.Solution.unknown}.
     @raise Invalid_argument on a negative lower bound. *)
 
 val iterations_performed : unit -> int
 (** Total pivots since program start; instrumentation for the bench
-    harness's ablations. *)
+    harness's ablations and the per-solve pivot counters. *)

@@ -1,0 +1,1 @@
+lib/util/budget.ml: Float Option Unix

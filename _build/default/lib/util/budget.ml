@@ -1,0 +1,128 @@
+type reason =
+  | Completed
+  | Deadline
+  | Conflict_budget
+  | Node_budget
+  | Iteration_budget
+  | Cancelled
+
+let reason_to_string = function
+  | Completed -> "completed"
+  | Deadline -> "deadline"
+  | Conflict_budget -> "conflict-budget"
+  | Node_budget -> "node-budget"
+  | Iteration_budget -> "iteration-budget"
+  | Cancelled -> "cancelled"
+
+type t = {
+  time_s : float option;
+  conflicts : int option;
+  nodes : int option;
+  iterations : int option;
+  cancel : bool ref;
+}
+
+(* Shared sentinel: budgets built without an explicit flag all point
+   here, so [combine] can tell "no flag" from "a real flag" and
+   [cancel] can refuse to raise a flag shared across every budget. *)
+let never = ref false
+
+let unlimited =
+  { time_s = None; conflicts = None; nodes = None; iterations = None; cancel = never }
+
+let create ?time_s ?conflicts ?nodes ?iterations ?(cancel = never) () =
+  { time_s; conflicts; nodes; iterations; cancel }
+
+let of_time s = create ~time_s:s ()
+
+let is_unlimited t =
+  t.time_s = None && t.conflicts = None && t.nodes = None && t.iterations = None
+
+let with_cancel t =
+  let flag = ref false in
+  ({ t with cancel = flag }, flag)
+
+let cancel t =
+  if t.cancel == never then
+    invalid_arg "Budget.cancel: budget has no cancellation flag (use ~cancel or with_cancel)"
+  else t.cancel := true
+
+let cancelled t = !(t.cancel)
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let combine a b =
+  { time_s = min_opt a.time_s b.time_s;
+    conflicts = min_opt a.conflicts b.conflicts;
+    nodes = min_opt a.nodes b.nodes;
+    iterations = min_opt a.iterations b.iterations;
+    cancel = (if a.cancel == never then b.cancel else a.cancel) }
+
+type counters = {
+  spent_conflicts : int;
+  spent_nodes : int;
+  spent_pivots : int;
+  spent_restarts : int;
+  spent_iterations : int;
+  spent_wall_s : float;
+}
+
+let zero =
+  { spent_conflicts = 0;
+    spent_nodes = 0;
+    spent_pivots = 0;
+    spent_restarts = 0;
+    spent_iterations = 0;
+    spent_wall_s = 0.0 }
+
+let add a b =
+  { spent_conflicts = a.spent_conflicts + b.spent_conflicts;
+    spent_nodes = a.spent_nodes + b.spent_nodes;
+    spent_pivots = a.spent_pivots + b.spent_pivots;
+    spent_restarts = a.spent_restarts + b.spent_restarts;
+    spent_iterations = a.spent_iterations + b.spent_iterations;
+    spent_wall_s = a.spent_wall_s +. b.spent_wall_s }
+
+let consume t c =
+  let sub limit spent = Option.map (fun l -> max 0 (l - spent)) limit in
+  { t with
+    time_s = Option.map (fun s -> Float.max 0.0 (s -. c.spent_wall_s)) t.time_s;
+    conflicts = sub t.conflicts c.spent_conflicts;
+    nodes = sub t.nodes c.spent_nodes;
+    iterations = sub t.iterations (c.spent_iterations + c.spent_pivots) }
+
+type gauge = {
+  limit : t;
+  started : float;
+  deadline : float;  (* absolute; [infinity] when no time allowance *)
+  mutable ticks : int;
+}
+
+let tick_granularity = 64
+
+let start t =
+  let now = Unix.gettimeofday () in
+  { limit = t;
+    started = now;
+    deadline = (match t.time_s with None -> infinity | Some s -> now +. s);
+    ticks = -1 }
+
+let elapsed_s g = Unix.gettimeofday () -. g.started
+
+let over limit spent = match limit with None -> false | Some l -> spent > l
+
+let check ?(conflicts = 0) ?(nodes = 0) ?(iterations = 0) g =
+  if !(g.limit.cancel) then Some Cancelled
+  else if over g.limit.conflicts conflicts then Some Conflict_budget
+  else if over g.limit.nodes nodes then Some Node_budget
+  else if over g.limit.iterations iterations then Some Iteration_budget
+  else if g.deadline < infinity then begin
+    g.ticks <- g.ticks + 1;
+    if g.ticks land (tick_granularity - 1) = 0 && Unix.gettimeofday () > g.deadline
+    then Some Deadline
+    else None
+  end
+  else None

@@ -1,0 +1,116 @@
+(** Unified solver resource control.
+
+    Every engine in the repository (CDCL, DPLL, branch & bound, the
+    min-conflicts heuristic, the simplex LP core) accepts one [t]
+    describing how much work a solve is allowed to do — wall-clock
+    time, conflicts, search nodes, iterations (heuristic flips and
+    simplex pivots) — plus a cooperative cancellation flag.  Engines
+    report how a solve stopped as a {!reason} and what it spent as
+    {!counters}, which is what lets {!Ec_core.Backend} run fallback
+    chains where each stage inherits the remaining budget of its
+    predecessor ({!consume}).
+
+    Time is stored as a {e relative} allowance, not an absolute
+    deadline: budgets live in configuration records built long before
+    any solve starts.  An engine arms the deadline when the solve
+    begins ({!start}), and checks it on a coarse tick so the clock is
+    not read in inner loops. *)
+
+type reason =
+  | Completed         (** the engine finished on its own — a definitive
+                          answer, or an incomplete engine out of moves *)
+  | Deadline          (** wall-clock allowance exhausted *)
+  | Conflict_budget
+  | Node_budget
+  | Iteration_budget  (** heuristic flips / simplex pivots exhausted *)
+  | Cancelled         (** the cooperative cancellation flag was raised *)
+
+val reason_to_string : reason -> string
+
+type t = {
+  time_s : float option;     (** wall-clock allowance, seconds *)
+  conflicts : int option;    (** CDCL / B&B conflicts allowed *)
+  nodes : int option;        (** search nodes allowed *)
+  iterations : int option;   (** flips / pivots allowed *)
+  cancel : bool ref;         (** cooperative cancellation flag *)
+}
+
+val unlimited : t
+(** No limits.  Its cancellation flag is a shared sentinel that is
+    never raised; budgets that should be cancellable must be built
+    with [create ~cancel] or {!with_cancel}. *)
+
+val create :
+  ?time_s:float -> ?conflicts:int -> ?nodes:int -> ?iterations:int ->
+  ?cancel:bool ref -> unit -> t
+
+val of_time : float -> t
+(** [of_time s] = [create ~time_s:s ()]. *)
+
+val is_unlimited : t -> bool
+(** No finite limit in any dimension (the cancellation flag may still
+    stop a solve). *)
+
+val with_cancel : t -> t * bool ref
+(** Attach a fresh cancellation flag; setting the returned ref to
+    [true] stops any solve running under the budget at its next tick. *)
+
+val cancel : t -> unit
+(** Raise the budget's cancellation flag.
+    @raise Invalid_argument on a budget without its own flag (one built
+    without [~cancel], e.g. {!unlimited}). *)
+
+val cancelled : t -> bool
+
+val combine : t -> t -> t
+(** Tightest of two budgets in every dimension.  The cancellation flag
+    is taken from the first argument unless it is the never-raised
+    sentinel, in which case the second's is used. *)
+
+(** What a solve spent.  [pivots] are simplex pivots (they draw on the
+    [iterations] budget, as do heuristic flips, but are reported
+    separately); [restarts] are informational only. *)
+type counters = {
+  spent_conflicts : int;
+  spent_nodes : int;
+  spent_pivots : int;
+  spent_restarts : int;
+  spent_iterations : int;
+  spent_wall_s : float;
+}
+
+val zero : counters
+
+val add : counters -> counters -> counters
+
+val consume : t -> counters -> t
+(** Remaining budget after the given expenditure, clamped at zero in
+    each dimension: the budget a fallback stage should hand to its
+    successor.  Pivots and iterations both reduce the [iterations]
+    allowance.  The cancellation flag is shared, not copied. *)
+
+(** {2 Per-solve gauges}
+
+    A gauge arms a budget for one solve: it fixes the absolute
+    deadline and counts checks so the clock is only consulted every
+    few ticks.  Engines call {!check} once per coarse unit of work
+    (conflict, node, a handful of flips or pivots) with their running
+    totals. *)
+
+type gauge
+
+val start : t -> gauge
+
+val elapsed_s : gauge -> float
+(** Wall-clock seconds since {!start}. *)
+
+val check :
+  ?conflicts:int -> ?nodes:int -> ?iterations:int -> gauge -> reason option
+(** [None] while the solve may continue; [Some r] names the first
+    exhausted dimension.  A limit of [n] allows exactly [n] units, so
+    a budget of 0 trips on the first unit of work.  The deadline is
+    consulted at most once per {!tick_granularity} calls (and on the
+    first), so overshoot is bounded by one coarse tick. *)
+
+val tick_granularity : int
+(** Number of {!check} calls between wall-clock reads. *)

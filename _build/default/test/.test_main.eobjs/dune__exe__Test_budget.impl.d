@@ -1,0 +1,1 @@
+test/test_budget.ml: Alcotest Ec_cnf Ec_core Ec_ilp Ec_ilpsolver Ec_sat Ec_simplex Ec_util Fmt Fun List

@@ -1,1 +1,1 @@
-test/test_ilpsolver.ml: Alcotest Array Ec_ilp Ec_ilpsolver List QCheck QCheck_alcotest
+test/test_ilpsolver.ml: Alcotest Array Ec_ilp Ec_ilpsolver Ec_util List QCheck QCheck_alcotest

@@ -350,7 +350,7 @@ let prop_preserving_script_checked =
         in
         satisfiable (Ec_cnf.Change.apply_script f script)
       | Ec_sat.Outcome.Unsat -> QCheck.assume_fail ()
-      | Ec_sat.Outcome.Unknown -> false)
+      | Ec_sat.Outcome.Unknown _ -> false)
 
 let tests =
   [ ( "cnf.lit",

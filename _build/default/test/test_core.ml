@@ -175,7 +175,7 @@ let prop_fast_ec_merge_satisfies =
   QCheck.Test.make ~name:"fast EC merge satisfies the modified formula" ~count:150
     arb_formula (fun f ->
       match Ec_sat.Cdcl.solve_formula f with
-      | O.Unsat | O.Unknown -> QCheck.assume_fail ()
+      | O.Unsat | O.Unknown _ -> QCheck.assume_fail ()
       | O.Sat a ->
         let rng = Ec_util.Rng.create 7 in
         let script = Ec_cnf.Change.fast_ec_script rng f ~eliminate:1 ~add:3 ~clause_width:2 in
@@ -193,7 +193,7 @@ let prop_fast_ec_safe_clauses_stay_satisfied =
   QCheck.Test.make ~name:"fast EC: unmarked clauses satisfied by untouched vars"
     ~count:150 arb_formula (fun f ->
       match Ec_sat.Cdcl.solve_formula f with
-      | O.Unsat | O.Unknown -> QCheck.assume_fail ()
+      | O.Unsat | O.Unknown _ -> QCheck.assume_fail ()
       | O.Sat a ->
         let f' = F.add_clause f (C.make [ -1; -2 ]) in
         let p = A.extend a (F.num_vars f') in
@@ -232,7 +232,7 @@ let prop_preserving_engines_optimal =
     (QCheck.make ~print:F.to_string (formula_gen ~max_vars:5 ~max_clauses:10))
     (fun f ->
       match Ec_sat.Cdcl.solve_formula f with
-      | O.Unsat | O.Unknown -> QCheck.assume_fail ()
+      | O.Unsat | O.Unknown _ -> QCheck.assume_fail ()
       | O.Sat reference ->
         let best = brute_best_preserved f reference in
         let r_ilp = Ec_core.Preserving.resolve f ~reference in
@@ -308,7 +308,7 @@ let prop_backends_agree =
             match Ec_core.Backend.solve b f with
             | O.Sat a -> if A.satisfies a f then `Sat else `Broken
             | O.Unsat -> `Unsat
-            | O.Unknown -> `Unknown)
+            | O.Unknown _ -> `Unknown)
           [ Ec_core.Backend.cdcl; Ec_core.Backend.dpll; Ec_core.Backend.ilp_exact ]
       in
       match verdicts with
@@ -319,7 +319,7 @@ let test_backend_heuristic_sound () =
   let f = F.of_lists ~num_vars:4 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; 4 ] ] in
   (match Ec_core.Backend.solve Ec_core.Backend.ilp_heuristic f with
   | O.Sat a -> check Alcotest.bool "model valid" true (A.satisfies a f)
-  | O.Unknown -> () (* allowed for an incomplete engine *)
+  | O.Unknown _ -> () (* allowed for an incomplete engine *)
   | O.Unsat -> Alcotest.fail "heuristic must not claim unsat");
   check Alcotest.string "name" "ilp-heuristic"
     (Ec_core.Backend.name Ec_core.Backend.ilp_heuristic)

@@ -15,13 +15,15 @@ let tiny_config =
   { P.default_config with
     P.scale = 0.1;
     trials = 2;
-    time_limit_s = Some 10.0;
+    budget = Ec_util.Budget.create ~time_s:10.0 ~nodes:5_000_000 ();
     include_large = false }
 
 let test_config_presets () =
   check (Alcotest.float 1e-9) "paper scale" 1.0 P.paper_config.P.scale;
-  check Alcotest.bool "paper uncapped" true (P.paper_config.P.time_limit_s = None);
-  check Alcotest.bool "default capped" true (P.default_config.P.time_limit_s <> None)
+  check Alcotest.bool "paper uncapped" true
+    (Ec_util.Budget.is_unlimited P.paper_config.P.budget);
+  check Alcotest.bool "default capped" true
+    (not (Ec_util.Budget.is_unlimited P.default_config.P.budget))
 
 let test_instances_list () =
   let insts = P.instances tiny_config in

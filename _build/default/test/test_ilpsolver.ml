@@ -188,7 +188,7 @@ let test_bnb_decision_stops_early () =
   check Alcotest.string "feasible" "feasible" (S.status_to_string s.S.status);
   check Alcotest.bool "point valid" true (Ec_ilp.Validate.is_feasible m s.S.values)
 
-let test_bnb_node_limit () =
+let test_bnb_node_budget () =
   (* a big unconstrained-ish optimization with a 1-node budget: Unknown
      or a feasible incumbent, never a bogus Optimal claim on a hard model *)
   let m = M.create () in
@@ -199,7 +199,11 @@ let test_bnb_node_limit () =
         M.add_constr m (E.of_terms [ (1.0, List.nth xs (i - 1)); (1.0, x) ]) M.Ge 1.0)
     xs;
   M.set_objective m M.Minimize (E.of_terms (List.map (fun x -> (1.0, x)) xs));
-  let s, _ = B.solve ~options:{ B.default_options with node_limit = Some 1 } m in
+  let s, _ =
+    B.solve
+      ~options:{ B.default_options with budget = Ec_util.Budget.create ~nodes:1 () }
+      m
+  in
   check Alcotest.bool "not optimal under 1-node budget" true
     (s.S.status <> S.Optimal)
 
@@ -267,7 +271,7 @@ let tests =
       [ Alcotest.test_case "knapsack" `Quick test_bnb_knapsack;
         Alcotest.test_case "infeasible" `Quick test_bnb_infeasible;
         Alcotest.test_case "decision mode" `Quick test_bnb_decision_stops_early;
-        Alcotest.test_case "node limit" `Quick test_bnb_node_limit;
+        Alcotest.test_case "node budget" `Quick test_bnb_node_budget;
         Alcotest.test_case "rejects continuous" `Quick test_bnb_rejects_continuous;
         Alcotest.test_case "tie seed" `Quick test_bnb_tie_seed_changes_solution;
         qtest prop_bnb_matches_brute_force;

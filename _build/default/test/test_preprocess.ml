@@ -63,7 +63,7 @@ let test_elimination_reconstructs () =
     | O.Sat a ->
       let lifted = P.reconstruct r a in
       check Alcotest.bool "lifted satisfies original" true (A.satisfies lifted f)
-    | O.Unsat | O.Unknown -> Alcotest.fail "simplified formula satisfiable")
+    | O.Unsat | O.Unknown _ -> Alcotest.fail "simplified formula satisfiable")
   | `Unsat -> Alcotest.fail "satisfiable"
 
 let formula_gen =
@@ -92,7 +92,7 @@ let prop_equisatisfiable =
         match Ec_sat.Cdcl.solve_formula r.P.formula with
         | O.Sat a -> scratch && A.satisfies (P.reconstruct r a) f
         | O.Unsat -> not scratch
-        | O.Unknown -> false))
+        | O.Unknown _ -> false))
 
 let prop_pipeline_equals_scratch =
   QCheck.Test.make ~name:"solve_with_preprocessing = plain cdcl" ~count:300 arb_formula

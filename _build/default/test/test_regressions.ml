@@ -29,7 +29,7 @@ let test_r1_assumptions_checked_at_full_assignment () =
   (match Ec_sat.Cdcl.solve ~assumptions:[ 1; -2 ] f with
   | O.Unsat, _ -> ()
   | O.Sat _, _ -> Alcotest.fail "assumption -2 contradicts the unit (v2)"
-  | O.Unknown, _ -> Alcotest.fail "no budget was set");
+  | O.Unknown _, _ -> Alcotest.fail "no budget was set");
   (* equivalence with posting the assumptions as units *)
   let g = F.add_clauses f [ C.make [ 1 ]; C.make [ -2 ] ] in
   check Alcotest.string "unit form agrees" "unsat"
@@ -75,7 +75,7 @@ let test_r3_preprocessor_unit_elimination_race () =
     | O.Sat a ->
       check Alcotest.bool "lifted model satisfies the original" true
         (A.satisfies (Ec_sat.Preprocess.reconstruct r a) f)
-    | O.Unsat | O.Unknown -> Alcotest.fail "simplified form stays satisfiable")
+    | O.Unsat | O.Unknown _ -> Alcotest.fail "simplified form stays satisfiable")
 
 (* R3 variant: pipeline answer must match plain CDCL on the same
    instance. *)

@@ -50,15 +50,19 @@ let prop_dpll_correct =
       match Ec_sat.Dpll.solve f with
       | O.Sat a -> A.satisfies a f
       | O.Unsat -> not (brute_sat f)
-      | O.Unknown -> false)
+      | O.Unknown _ -> false)
 
 let test_dpll_budget () =
   let f =
     F.of_lists ~num_vars:20
       (List.init 60 (fun i -> [ 1 + (i mod 20); -(1 + ((i + 7) mod 20)); 1 + ((i + 13) mod 20) ]))
   in
-  match Ec_sat.Dpll.solve ~options:{ Ec_sat.Dpll.node_limit = Some 1 } f with
-  | O.Unknown -> ()
+  match
+    Ec_sat.Dpll.solve
+      ~options:{ Ec_sat.Dpll.budget = Ec_util.Budget.create ~nodes:1 () }
+      f
+  with
+  | O.Unknown _ -> ()
   | O.Sat _ | O.Unsat -> Alcotest.fail "1-node budget must give Unknown"
 
 let test_dpll_trivial () =
@@ -136,10 +140,13 @@ let test_cdcl_conflict_budget () =
   let f = php 6 in
   (match
      Ec_sat.Cdcl.solve_formula
-       ~options:{ Ec_sat.Cdcl.default_options with max_conflicts = Some 5 }
+       ~options:
+         { Ec_sat.Cdcl.default_options with
+           budget = Ec_util.Budget.create ~conflicts:5 ()
+         }
        f
    with
-  | O.Unknown -> ()
+  | O.Unknown _ -> ()
   | O.Sat _ -> Alcotest.fail "php is unsat"
   | O.Unsat -> Alcotest.fail "5 conflicts cannot refute php6");
   (* and without budget it refutes it *)
@@ -259,7 +266,7 @@ let prop_minimize_sound =
         let m = Ec_sat.Minimize.recover_dc f a in
         A.satisfies m f && A.dc_count m >= A.dc_count a
       | O.Unsat -> QCheck.assume_fail ()
-      | O.Unknown -> false)
+      | O.Unknown _ -> false)
 
 let prop_minimize_orders_agree_on_soundness =
   QCheck.Test.make ~name:"recover_dc orders both sound" ~count:150 arb_formula
@@ -272,7 +279,7 @@ let prop_minimize_orders_agree_on_soundness =
         in
         A.satisfies m1 f && A.satisfies m2 f
       | O.Unsat -> QCheck.assume_fail ()
-      | O.Unknown -> false)
+      | O.Unknown _ -> false)
 
 let test_minimize_dc_gain () =
   let f = F.of_lists ~num_vars:3 [ [ 1 ] ] in

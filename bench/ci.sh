@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI entry point: full build, the complete test suite, and (when the
+# formatter is installed) a formatting check.  Exits non-zero on the
+# first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+# ocamlformat is not part of the minimal toolchain; check formatting
+# only where it is available so the script works in both environments.
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+echo "CI OK"

@@ -34,7 +34,7 @@ let () =
     (* Caps keep the from-scratch reference solves bounded even when a
        change lands in a hard region. *)
     Ec_core.Backend.Ilp_exact
-      { Ec_ilpsolver.Bnb.default_options with time_limit_s = Some 5.0 }
+      { Ec_ilpsolver.Bnb.default_options with budget = Ec_util.Budget.of_time 5.0 }
   in
   let formula = ref init.formula in
   let solution = ref init.assignment in

@@ -62,7 +62,7 @@ let prop_fast_vs_full_feasibility =
     ~count:60 arb_instance (fun spec ->
       let f, _, rng = build spec in
       match Ec_core.Backend.solve Ec_core.Backend.cdcl f with
-      | O.Unsat | O.Unknown -> QCheck.assume_fail ()
+      | O.Unsat | O.Unknown _ -> QCheck.assume_fail ()
       | O.Sat a ->
         let f' =
           Ec_cnf.Change.apply_script f
@@ -76,7 +76,7 @@ let prop_fast_vs_full_feasibility =
         | None, O.Unsat -> true
         | None, O.Sat _ -> true (* cone incompleteness: legal, harness falls back *)
         | Some _, O.Unsat -> false (* impossible: a model refutes unsat *)
-        | _, O.Unknown -> false))
+        | _, O.Unknown _ -> false))
 
 (* 3. Preserving beats (or ties) any other model, engines agree, and
    the preserved count is achievable. *)
@@ -85,7 +85,7 @@ let prop_preserving_dominates =
     arb_instance (fun spec ->
       let f, _, rng = build spec in
       match Ec_core.Backend.solve Ec_core.Backend.cdcl f with
-      | O.Unsat | O.Unknown -> QCheck.assume_fail ()
+      | O.Unsat | O.Unknown _ -> QCheck.assume_fail ()
       | O.Sat reference ->
         let satisfiable g = O.is_sat (Ec_sat.Cdcl.solve_formula g) in
         let script =
@@ -110,7 +110,7 @@ let prop_preserving_dominates =
           | O.Sat other ->
             A.preserved_count ~old_assignment:reference other
             <= r_ilp.Ec_core.Preserving.preserved
-          | O.Unsat | O.Unknown -> false)
+          | O.Unsat | O.Unknown _ -> false)
         | None, None -> true
         | _, _ -> false))
 
@@ -134,7 +134,7 @@ let prop_four_way_agreement =
           (match Ec_core.Backend.solve Ec_core.Backend.ilp_exact f with
           | O.Sat _ -> true
           | O.Unsat -> false
-          | O.Unknown -> not (O.is_sat (Ec_sat.Cdcl.solve_formula f))) ]
+          | O.Unknown _ -> not (O.is_sat (Ec_sat.Cdcl.solve_formula f))) ]
       in
       match verdicts with
       | v :: rest -> List.for_all (fun x -> x = v) rest

@@ -12,12 +12,13 @@ module E = Ec_ilp.Linexpr
 
 let feq = Alcotest.float 1e-6
 
-let solve_canonical = Sx.solve_canonical
+let solve_canonical ~a ~b ~c = Sx.solve_canonical ~a ~b ~c ()
 
 let expect_optimal = function
   | Sx.Optimal { point; objective } -> (point, objective)
   | Sx.Infeasible -> Alcotest.fail "unexpected infeasible"
   | Sx.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Sx.Interrupted _ -> Alcotest.fail "unexpected interruption (no budget set)"
 
 let test_textbook () =
   (* max x+y st x+2y<=4, 3x+y<=6: optimum 2.8 at (1.6, 1.2) *)
@@ -32,12 +33,14 @@ let test_textbook () =
 let test_infeasible () =
   match solve_canonical ~a:[| [| 1. |] |] ~b:[| -1. |] ~c:[| 1. |] with
   | Sx.Infeasible -> ()
-  | Sx.Optimal _ | Sx.Unbounded -> Alcotest.fail "x<=-1, x>=0 is infeasible"
+  | Sx.Optimal _ | Sx.Unbounded | Sx.Interrupted _ ->
+    Alcotest.fail "x<=-1, x>=0 is infeasible"
 
 let test_unbounded () =
   match solve_canonical ~a:[| [| -1. |] |] ~b:[| 0. |] ~c:[| 1. |] with
   | Sx.Unbounded -> ()
-  | Sx.Optimal _ | Sx.Infeasible -> Alcotest.fail "max x with x>=0 only is unbounded"
+  | Sx.Optimal _ | Sx.Infeasible | Sx.Interrupted _ ->
+    Alcotest.fail "max x with x>=0 only is unbounded"
 
 let test_degenerate () =
   (* redundant constraints meeting at the optimum *)
@@ -124,7 +127,7 @@ let prop_grid_check =
       in
       let c = [| c0; c1 |] in
       match solve_canonical ~a ~b ~c with
-      | Sx.Unbounded -> false (* impossible inside a box *)
+      | Sx.Unbounded | Sx.Interrupted _ -> false (* impossible inside a box *)
       | Sx.Infeasible ->
         (* origin is feasible iff all rhs >= 0; rhs > 0 by construction *)
         false
