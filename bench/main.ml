@@ -97,7 +97,7 @@ let micro_fixture () =
   let cfg = { Ec_harness.Protocol.default_config with scale = 0.2 } in
   let a0 =
     match Ec_harness.Protocol.initial_solve cfg inst with
-    | Some (a, _) -> a
+    | Some r -> r.Ec_harness.Protocol.assignment
     | None -> failwith "micro fixture: initial solve failed"
   in
   let rng = Ec_util.Rng.create 41 in
@@ -252,7 +252,7 @@ let run_ablations args =
   let cfg = { Ec_harness.Protocol.default_config with scale = min args.scale 0.15 } in
   (match Ec_harness.Protocol.initial_solve cfg inst with
   | None -> print_endline "  A4 skipped (no initial solution)"
-  | Some (a0, _) ->
+  | Some { Ec_harness.Protocol.assignment = a0; _ } ->
     let rng = Ec_util.Rng.create 99 in
     let script =
       Ec_cnf.Change.preserving_ec_script rng inst.formula ~reference:a0 ~add_vars:5
@@ -288,7 +288,7 @@ let run_ablations args =
       let inst = a5_inst in
       match Ec_harness.Protocol.initial_solve cfg inst with
       | None -> nan
-      | Some (a, _) ->
+      | Some { Ec_harness.Protocol.assignment = a; _ } ->
         let rng = Ec_util.Rng.create 4242 in
         let sizes =
           List.init 5 (fun _ ->

@@ -66,10 +66,38 @@ let budget_of timeout conflicts = Ec_util.Budget.create ?time_s:timeout ?conflic
 
 let load file = Ec_cnf.Dimacs.parse_file file
 
+let verify_arg =
+  let doc =
+    "Re-certify the final model clause by clause against the input formula \
+     (an independent check, not the solver's own bookkeeping).  A model that \
+     fails certification exits with code 3 — distinct from 10/20/0, so \
+     scripts can tell a wrong answer from an honest unknown."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+(* Exit code for a certification failure under --verify.  Deliberately
+   none of the SAT-competition codes (10/20/0): a produced-but-wrong
+   model is a different event than any verdict. *)
+let cert_failure_exit = 3
+
 (* SAT-competition exit codes: 10 = satisfiable, 20 = unsatisfiable,
    0 = unknown (e.g. out of budget). *)
-let report_model f a =
-  if not (Ec_cnf.Assignment.satisfies a f) then begin
+let report_model ?(verify = false) f a =
+  if verify then
+    match Ec_core.Certify.check_model f a with
+    | Error detail ->
+      Printf.printf "c CERTIFICATION FAILED: %s\n" detail;
+      print_endline "s UNKNOWN";
+      cert_failure_exit
+    | Ok () ->
+      Printf.printf "c certified: model re-checked against all %d clauses\n"
+        (Ec_cnf.Formula.num_clauses f);
+      print_endline "s SATISFIABLE";
+      print_endline (Ec_cnf.Dimacs.solution_to_string a);
+      Printf.printf "c don't-cares: %d of %d\n" (Ec_cnf.Assignment.dc_count a)
+        (Ec_cnf.Assignment.num_vars a);
+      10
+  else if not (Ec_cnf.Assignment.satisfies a f) then begin
     print_endline "c INTERNAL ERROR: model does not satisfy";
     1
   end
@@ -81,7 +109,7 @@ let report_model f a =
     10
   end
 
-let report_solution f = function
+let report_solution ?verify f = function
   | Ec_sat.Outcome.Unsat ->
     print_endline "s UNSATISFIABLE";
     20
@@ -89,12 +117,12 @@ let report_solution f = function
     Printf.printf "c stopped: %s\n" (Ec_util.Budget.reason_to_string reason);
     print_endline "s UNKNOWN";
     0
-  | Ec_sat.Outcome.Sat a -> report_model f a
+  | Ec_sat.Outcome.Sat a -> report_model ?verify f a
 
 (* ---- solve ---- *)
 
 let solve_cmd =
-  let run file backend timeout conflicts =
+  let run file backend timeout conflicts verify =
     let f = load file in
     let backend = Ec_core.Backend.with_budget backend (budget_of timeout conflicts) in
     let r, t =
@@ -104,16 +132,16 @@ let solve_cmd =
       (Ec_core.Backend.name backend) t
       r.Ec_core.Backend.counters.Ec_util.Budget.spent_conflicts
       r.Ec_core.Backend.counters.Ec_util.Budget.spent_nodes;
-    report_solution f r.Ec_core.Backend.outcome
+    report_solution ~verify f r.Ec_core.Backend.outcome
   in
   let doc = "solve a DIMACS CNF instance" in
   Cmd.v (Cmd.info "solve" ~doc)
-    Term.(const run $ cnf_file $ backend $ timeout_arg $ conflicts_arg)
+    Term.(const run $ cnf_file $ backend $ timeout_arg $ conflicts_arg $ verify_arg)
 
 (* ---- enable ---- *)
 
 let enable_cmd =
-  let run file objective_mode weight =
+  let run file objective_mode weight verify =
     let f = load file in
     let mode =
       if objective_mode then Ec_core.Enabling.Objective weight
@@ -127,7 +155,7 @@ let enable_cmd =
       Printf.printf "c enabling mode=%s flexibility=%.3f time=%.4fs\n"
         (if objective_mode then "objective" else "constraints")
         init.flexibility init.solve_time_s;
-      report_model f init.assignment
+      report_model ~verify f init.assignment
   in
   let objective_mode =
     Arg.(value & flag
@@ -139,7 +167,8 @@ let enable_cmd =
          & info [ "weight"; "w" ] ~doc:"Flexibility weight for the objective mode.")
   in
   let doc = "solve with enabling EC (paper \xc2\xa75)" in
-  Cmd.v (Cmd.info "enable" ~doc) Term.(const run $ cnf_file $ objective_mode $ weight)
+  Cmd.v (Cmd.info "enable" ~doc)
+    Term.(const run $ cnf_file $ objective_mode $ weight $ verify_arg)
 
 (* ---- fast / preserve ---- *)
 
@@ -163,7 +192,7 @@ let with_initial file backend k =
   | Some init -> k f init
 
 let fast_cmd =
-  let run file backend add eliminate timeout conflicts =
+  let run file backend add eliminate timeout conflicts verify =
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
         let r =
@@ -178,15 +207,15 @@ let fast_cmd =
           | None -> print_endline "c fast-EC fell back to a full re-solve");
           Printf.printf "c preserved %.1f%% of the initial solution, %.4fs\n"
             (100.0 *. u.preserved_fraction) u.resolve_time_s;
-          report_model u.new_formula u.new_assignment)
+          report_model ~verify u.new_formula u.new_assignment)
   in
   let doc = "apply changes and re-solve with fast EC (paper \xc2\xa76, Figure 2)" in
   Cmd.v (Cmd.info "fast" ~doc)
     Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ timeout_arg
-          $ conflicts_arg)
+          $ conflicts_arg $ verify_arg)
 
 let preserve_cmd =
-  let run file backend add eliminate use_sat timeout conflicts =
+  let run file backend add eliminate use_sat timeout conflicts verify =
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
         let engine =
@@ -203,7 +232,7 @@ let preserve_cmd =
         | Some u ->
           Printf.printf "c preserved %.1f%% of the initial solution, %.4fs\n"
             (100.0 *. u.preserved_fraction) u.resolve_time_s;
-          report_model u.new_formula u.new_assignment)
+          report_model ~verify u.new_formula u.new_assignment)
   in
   let use_sat =
     Arg.(value & flag
@@ -213,7 +242,7 @@ let preserve_cmd =
   let doc = "apply changes and re-solve with preserving EC (paper \xc2\xa77)" in
   Cmd.v (Cmd.info "preserve" ~doc)
     Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ use_sat
-          $ timeout_arg $ conflicts_arg)
+          $ timeout_arg $ conflicts_arg $ verify_arg)
 
 (* ---- preprocess ---- *)
 
@@ -336,6 +365,11 @@ let tables_cmd =
     Term.(const run $ table $ scale $ trials $ no_large $ paper)
 
 let () =
+  (* Fault-injection hook: ECSAT_FAULTS="seed=7;cdcl.answer=corrupt;..."
+     arms deterministic failpoints inside the engines — the chaos knob
+     the robustness tests and bench/ci.sh drive.  A malformed plan
+     prints a diagnostic and exits 2 before any solving starts. *)
+  Ec_util.Fault.configure_from_env ();
   let doc = "ILP-based engineering change on SAT (DAC 2002 reproduction)" in
   let info = Cmd.info "ecsat" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info [ solve_cmd; enable_cmd; fast_cmd; preserve_cmd; preprocess_cmd; gen_cmd; tables_cmd ]))

@@ -54,6 +54,46 @@ let maybe_recover recover_dc formula outcome =
     Ec_sat.Outcome.Sat (Ec_sat.Minimize.recover_dc formula a)
   | Ec_sat.Outcome.Sat _ | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> outcome
 
+(* --- exception containment -------------------------------------- *)
+
+(* A raising engine must not take the whole flow down: the exception is
+   caught at this boundary and reported as the control-plane reason
+   [Engine_failure], which a chain treats like any local exhaustion.
+   The stochastic engine gets a bounded number of fresh attempts under
+   a reseeded RNG first — a crash in randomized search is often
+   seed-local. *)
+let max_heuristic_retries = 2
+
+let reseed seed attempt = seed lxor (0x9E3779B9 * attempt)
+
+let with_heuristic_seed t attempt =
+  match t with
+  | Ilp_heuristic o ->
+    Ilp_heuristic
+      { o with Ec_ilpsolver.Heuristic.seed = reseed o.Ec_ilpsolver.Heuristic.seed attempt }
+  | Ilp_exact _ | Cdcl _ | Dpll _ -> t
+
+let failure_counters started =
+  { Ec_util.Budget.zero with spent_wall_s = Unix.gettimeofday () -. started }
+
+(* Run [attempt t], containing any exception as an [Engine_failure]
+   triple from [on_failure]; [Ilp_heuristic] is retried with a fresh
+   seed before giving up. *)
+let guarded ~attempt ~on_failure t =
+  let started = Unix.gettimeofday () in
+  let rec go k t =
+    match attempt t with
+    | r -> r
+    | exception exn ->
+      if k < max_heuristic_retries && (match t with Ilp_heuristic _ -> true | _ -> false)
+      then go (k + 1) (with_heuristic_seed t (k + 1))
+      else
+        on_failure
+          (Ec_util.Budget.Engine_failure (name t, Printexc.to_string exn))
+          (failure_counters started)
+  in
+  go 0 t
+
 let solve_response ?(recover_dc = true) ?budget t formula =
   let t = match budget with None -> t | Some b -> with_budget t b in
   let respond outcome reason counters =
@@ -61,42 +101,56 @@ let solve_response ?(recover_dc = true) ?budget t formula =
   in
   if Ec_cnf.Formula.has_empty_clause formula then
     respond Ec_sat.Outcome.Unsat Ec_util.Budget.Completed Ec_util.Budget.zero
-  else
-    match t with
-    | Cdcl options ->
-      let r = Ec_sat.Cdcl.solve_response ~options formula in
-      respond
-        (maybe_recover recover_dc formula r.Ec_sat.Cdcl.outcome)
-        r.Ec_sat.Cdcl.reason r.Ec_sat.Cdcl.counters
-    | Dpll options ->
-      let r = Ec_sat.Dpll.solve_response ~options formula in
-      respond
-        (maybe_recover recover_dc formula r.Ec_sat.Dpll.outcome)
-        r.Ec_sat.Dpll.reason r.Ec_sat.Dpll.counters
-    | Ilp_exact options ->
-      let enc = Encode.of_formula formula in
-      let r = Ec_ilpsolver.Bnb.solve_decision_response ~options (Encode.model enc) in
-      let solution = r.Ec_ilpsolver.Bnb.solution in
-      let outcome =
-        match solution.Ec_ilp.Solution.status with
-        | Ec_ilp.Solution.Optimal | Ec_ilp.Solution.Feasible -> (
-          match Encode.decode enc solution with
+  else begin
+    let attempt = function
+      | Cdcl options ->
+        let r = Ec_sat.Cdcl.solve_response ~options formula in
+        ( maybe_recover recover_dc formula r.Ec_sat.Cdcl.outcome,
+          r.Ec_sat.Cdcl.reason,
+          r.Ec_sat.Cdcl.counters )
+      | Dpll options ->
+        let r = Ec_sat.Dpll.solve_response ~options formula in
+        ( maybe_recover recover_dc formula r.Ec_sat.Dpll.outcome,
+          r.Ec_sat.Dpll.reason,
+          r.Ec_sat.Dpll.counters )
+      | Ilp_exact options ->
+        let enc = Encode.of_formula formula in
+        let r = Ec_ilpsolver.Bnb.solve_decision_response ~options (Encode.model enc) in
+        let solution = r.Ec_ilpsolver.Bnb.solution in
+        let outcome =
+          match solution.Ec_ilp.Solution.status with
+          | Ec_ilp.Solution.Optimal | Ec_ilp.Solution.Feasible -> (
+            match Encode.decode enc solution with
+            | Some a -> Ec_sat.Outcome.Sat a
+            | None -> Ec_sat.Outcome.Unknown Ec_util.Budget.Completed)
+          | Ec_ilp.Solution.Infeasible -> Ec_sat.Outcome.Unsat
+          | Ec_ilp.Solution.Unbounded | Ec_ilp.Solution.Unknown ->
+            Ec_sat.Outcome.Unknown r.Ec_ilpsolver.Bnb.reason
+        in
+        (outcome, r.Ec_ilpsolver.Bnb.reason, r.Ec_ilpsolver.Bnb.counters)
+      | Ilp_heuristic options ->
+        let enc = Encode.of_formula formula in
+        let r = Ec_ilpsolver.Heuristic.solve_response ~options (Encode.model enc) in
+        let outcome =
+          match Encode.decode enc r.Ec_ilpsolver.Heuristic.solution with
           | Some a -> Ec_sat.Outcome.Sat a
-          | None -> Ec_sat.Outcome.Unknown Ec_util.Budget.Completed)
-        | Ec_ilp.Solution.Infeasible -> Ec_sat.Outcome.Unsat
-        | Ec_ilp.Solution.Unbounded | Ec_ilp.Solution.Unknown ->
-          Ec_sat.Outcome.Unknown r.Ec_ilpsolver.Bnb.reason
-      in
-      respond outcome r.Ec_ilpsolver.Bnb.reason r.Ec_ilpsolver.Bnb.counters
-    | Ilp_heuristic options ->
-      let enc = Encode.of_formula formula in
-      let r = Ec_ilpsolver.Heuristic.solve_response ~options (Encode.model enc) in
-      let outcome =
-        match Encode.decode enc r.Ec_ilpsolver.Heuristic.solution with
-        | Some a -> Ec_sat.Outcome.Sat a
-        | None -> Ec_sat.Outcome.Unknown r.Ec_ilpsolver.Heuristic.reason
-      in
-      respond outcome r.Ec_ilpsolver.Heuristic.reason r.Ec_ilpsolver.Heuristic.counters
+          | None -> Ec_sat.Outcome.Unknown r.Ec_ilpsolver.Heuristic.reason
+        in
+        (outcome, r.Ec_ilpsolver.Heuristic.reason, r.Ec_ilpsolver.Heuristic.counters)
+    in
+    let outcome, reason, counters =
+      guarded ~attempt
+        ~on_failure:(fun reason counters -> (Ec_sat.Outcome.Unknown reason, reason, counters))
+        t
+    in
+    (* Certification: a Sat model leaves this module only after an
+       independent clause-by-clause re-check (O(formula), no extra
+       solve); a failed certificate is demoted to an honest Unknown. *)
+    match Certify.outcome ~engine:(name t) formula outcome with
+    | Ec_sat.Outcome.Unknown (Ec_util.Budget.Engine_failure _ as r)
+      when Ec_sat.Outcome.is_sat outcome -> respond (Ec_sat.Outcome.Unknown r) r counters
+    | certified -> respond certified reason counters
+  end
 
 let solve ?recover_dc ?budget t formula =
   (solve_response ?recover_dc ?budget t formula).outcome
@@ -109,45 +163,60 @@ let solve_model_response ?budget t model =
       counters = r.Ec_ilpsolver.Bnb.counters;
       engine = "ilp-bnb" }
   in
-  match t with
-  | Ilp_exact options -> of_bnb (Ec_ilpsolver.Bnb.solve_response ~options model)
-  | Ilp_heuristic options ->
-    let r = Ec_ilpsolver.Heuristic.solve_response ~options model in
-    { solution = r.Ec_ilpsolver.Heuristic.solution;
-      reason = r.Ec_ilpsolver.Heuristic.reason;
-      counters = r.Ec_ilpsolver.Heuristic.counters;
-      engine = name t }
-  | Cdcl options -> (
-    (* Clause-like models (every encoding in this project) translate
-       exactly to CNF; general rows fall back to branch & bound. *)
-    match Cnfize.of_model model with
-    | exception Cnfize.Unsupported _ ->
+  let attempt = function
+    | Ilp_exact options -> of_bnb (Ec_ilpsolver.Bnb.solve_response ~options model)
+    | Ilp_heuristic options ->
+      let r = Ec_ilpsolver.Heuristic.solve_response ~options model in
+      { solution = r.Ec_ilpsolver.Heuristic.solution;
+        reason = r.Ec_ilpsolver.Heuristic.reason;
+        counters = r.Ec_ilpsolver.Heuristic.counters;
+        engine = name t }
+    | Cdcl options -> (
+      (* Clause-like models (every encoding in this project) translate
+         exactly to CNF; general rows fall back to branch & bound. *)
+      match Cnfize.of_model model with
+      | exception Cnfize.Unsupported _ ->
+        of_bnb
+          (Ec_ilpsolver.Bnb.solve_response
+             ~options:
+               { Ec_ilpsolver.Bnb.default_options with budget = options.Ec_sat.Cdcl.budget }
+             model)
+      | cnf ->
+        let r = Ec_sat.Cdcl.solve_response ~options cnf.Cnfize.formula in
+        let solution =
+          match r.Ec_sat.Cdcl.outcome with
+          | Ec_sat.Outcome.Sat a ->
+            let values = Cnfize.point_of_assignment cnf a in
+            let objective = Ec_ilp.Validate.objective_value model values in
+            { Ec_ilp.Solution.status = Ec_ilp.Solution.Feasible; values; objective }
+          | Ec_sat.Outcome.Unsat -> Ec_ilp.Solution.infeasible
+          | Ec_sat.Outcome.Unknown _ -> Ec_ilp.Solution.unknown
+        in
+        { solution;
+          reason = r.Ec_sat.Cdcl.reason;
+          counters = r.Ec_sat.Cdcl.counters;
+          engine = name t })
+    | Dpll options ->
       of_bnb
         (Ec_ilpsolver.Bnb.solve_response
            ~options:
-             { Ec_ilpsolver.Bnb.default_options with budget = options.Ec_sat.Cdcl.budget }
+             { Ec_ilpsolver.Bnb.default_options with budget = options.Ec_sat.Dpll.budget }
            model)
-    | cnf ->
-      let r = Ec_sat.Cdcl.solve_response ~options cnf.Cnfize.formula in
-      let solution =
-        match r.Ec_sat.Cdcl.outcome with
-        | Ec_sat.Outcome.Sat a ->
-          let values = Cnfize.point_of_assignment cnf a in
-          let objective = Ec_ilp.Validate.objective_value model values in
-          { Ec_ilp.Solution.status = Ec_ilp.Solution.Feasible; values; objective }
-        | Ec_sat.Outcome.Unsat -> Ec_ilp.Solution.infeasible
-        | Ec_sat.Outcome.Unknown _ -> Ec_ilp.Solution.unknown
-      in
-      { solution;
-        reason = r.Ec_sat.Cdcl.reason;
-        counters = r.Ec_sat.Cdcl.counters;
-        engine = name t })
-  | Dpll options ->
-    of_bnb
-      (Ec_ilpsolver.Bnb.solve_response
-         ~options:
-           { Ec_ilpsolver.Bnb.default_options with budget = options.Ec_sat.Dpll.budget }
-         model)
+  in
+  let r =
+    guarded ~attempt
+      ~on_failure:(fun reason counters ->
+        { solution = Ec_ilp.Solution.unknown; reason; counters; engine = name t })
+      t
+  in
+  (* Certification: rows re-evaluated and the objective recomputed at
+     the returned point; a failed certificate never leaves as a
+     Feasible/Optimal claim. *)
+  match Certify.check_solution model r.solution with
+  | Ok () -> r
+  | Error detail ->
+    let reason = Ec_util.Budget.Engine_failure (r.engine, detail) in
+    { r with solution = Ec_ilp.Solution.unknown; reason }
 
 let solve_model ?budget t model = (solve_model_response ?budget t model).solution
 
@@ -164,6 +233,21 @@ let solve_chain ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint stages fo
         match hint with None -> stage | Some h -> with_phase_hint stage h
       in
       let r = solve_response ?recover_dc ~budget:remaining stage formula in
+      (* Cross-examine a claimed UNSAT against the warm-start witness:
+         a hint that still satisfies the formula is positive proof the
+         verdict is wrong (forged or buggy), so the stage is treated as
+         failed and the chain keeps going. *)
+      let r =
+        match (r.outcome, hint) with
+        | Ec_sat.Outcome.Unsat, Some w
+          when Certify.refutes_unsat formula ~witness:w ->
+          let reason =
+            Ec_util.Budget.Engine_failure
+              (r.engine, "unsat verdict refuted by known witness")
+          in
+          { r with outcome = Ec_sat.Outcome.Unknown reason; reason }
+        | _ -> r
+      in
       let spent = Ec_util.Budget.add spent r.counters in
       let finish () = { r with counters = spent } in
       (match r.outcome with

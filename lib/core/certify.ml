@@ -1,0 +1,59 @@
+let check_model f a =
+  let n = Ec_cnf.Formula.num_vars f in
+  if Ec_cnf.Assignment.num_vars a < n then
+    Error
+      (Printf.sprintf "model covers %d of %d variables" (Ec_cnf.Assignment.num_vars a) n)
+  else
+    match Ec_cnf.Assignment.unsatisfied_clauses a f with
+    | [] -> Ok ()
+    | i :: _ ->
+      Error
+        (Printf.sprintf "clause %d %s not satisfied" i
+           (Ec_cnf.Clause.to_string (Ec_cnf.Formula.clause f i)))
+
+let check_solution ?(eps = 1e-6) model (s : Ec_ilp.Solution.t) =
+  match s.Ec_ilp.Solution.status with
+  | Ec_ilp.Solution.Infeasible | Ec_ilp.Solution.Unbounded | Ec_ilp.Solution.Unknown ->
+    Ok ()
+  | Ec_ilp.Solution.Optimal | Ec_ilp.Solution.Feasible ->
+    let values = s.Ec_ilp.Solution.values in
+    if Array.length values <> Ec_ilp.Model.num_vars model then
+      Error
+        (Printf.sprintf "solution point has %d values for %d model variables"
+           (Array.length values) (Ec_ilp.Model.num_vars model))
+    else (
+      match Ec_ilp.Validate.check ~eps model values with
+      | v :: _ -> Error (Ec_ilp.Validate.violation_to_string v)
+      | [] ->
+        let recomputed = Ec_ilp.Validate.objective_value model values in
+        if
+          abs_float (recomputed -. s.Ec_ilp.Solution.objective)
+          > eps *. (1.0 +. abs_float recomputed)
+        then
+          Error
+            (Printf.sprintf "objective mismatch: reported %g, recomputed %g"
+               s.Ec_ilp.Solution.objective recomputed)
+        else Ok ())
+
+let refutes_unsat f ~witness =
+  let n = Ec_cnf.Formula.num_vars f in
+  let w =
+    if Ec_cnf.Assignment.num_vars witness < n then Ec_cnf.Assignment.extend witness n
+    else witness
+  in
+  Ec_cnf.Assignment.satisfies w f
+
+let outcome ~engine ?witness f (o : Ec_sat.Outcome.t) =
+  match o with
+  | Ec_sat.Outcome.Sat a -> (
+    match check_model f a with
+    | Ok () -> o
+    | Error detail ->
+      Ec_sat.Outcome.Unknown (Ec_util.Budget.Engine_failure (engine, detail)))
+  | Ec_sat.Outcome.Unsat -> (
+    match witness with
+    | Some w when refutes_unsat f ~witness:w ->
+      Ec_sat.Outcome.Unknown
+        (Ec_util.Budget.Engine_failure (engine, "unsat verdict refuted by known witness"))
+    | Some _ | None -> o)
+  | Ec_sat.Outcome.Unknown _ -> o

@@ -89,23 +89,31 @@ let resolve ?(backend = Backend.cdcl) ?budget f p =
       counters = Ec_util.Budget.zero }
   else begin
     let r = Backend.solve_response ?budget backend s.sub_formula in
-    let solution =
+    let solution, reason =
       match r.Backend.outcome with
-      | Ec_sat.Outcome.Sat sub ->
+      | Ec_sat.Outcome.Sat sub -> (
         let p = Ec_cnf.Assignment.extend p (Ec_cnf.Formula.num_vars f) in
         let merged = Ec_cnf.Assignment.merge_on ~vars:s.vars ~base:p ~overlay:sub in
-        if Ec_cnf.Assignment.satisfies merged f then Some merged
-        else
-          (* Should not happen: the cone construction guarantees the
-             merge satisfies every clause; fail loudly in debug runs. *)
-          None
-      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> None
+        (* Merge certification: the cone construction guarantees the
+           combined assignment satisfies every clause — the marked ones
+           through the re-solve, the untouched region through a
+           variable outside the cone.  Re-check clause by clause; a
+           violation means the sub-model (or the merge) is corrupt, and
+           is reported as an engine failure rather than a wrong
+           answer. *)
+        match Certify.check_model f merged with
+        | Ok () -> (Some merged, r.Backend.reason)
+        | Error detail ->
+          ( None,
+            Ec_util.Budget.Engine_failure
+              ("fast-ec", "merge certification failed: " ^ detail) ))
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> (None, r.Backend.reason)
     in
     { simplified = s;
       solution;
       sub_vars_count = List.length s.vars;
       sub_clauses_count = List.length s.marked;
-      reason = r.Backend.reason;
+      reason;
       counters = r.Backend.counters }
   end
 

@@ -17,8 +17,12 @@ let solve_initial ?enable ?(solver = Backend.cdcl) ?budget formula =
       let enc = Encode.of_formula formula in
       let _info = Enabling.add mode enc in
       let r = Backend.solve_model_response ?budget solver (Encode.model enc) in
+      (* The model-level answer is certified by Backend; re-check the
+         decoded assignment against the original CNF so a decode bug
+         cannot smuggle in an unsatisfying "solution" either. *)
       match Encode.decode enc r.Backend.solution with
-      | Some a -> Some a
+      | Some a -> (
+        match Certify.check_model formula a with Ok () -> Some a | Error _ -> None)
       | None -> None)
   in
   let result, elapsed = Ec_util.Stopwatch.time run in
@@ -68,12 +72,19 @@ let apply_change_response ?(strategy = Fast) ?(solver = Backend.cdcl)
         (Backend.with_phase_hint solver reference)
         new_formula
     in
-    let outcome =
+    let outcome, reason =
       match r.Backend.outcome with
-      | Ec_sat.Outcome.Sat a -> Some (a, None)
-      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> None
+      | Ec_sat.Outcome.Sat a -> (Some (a, None), r.Backend.reason)
+      | Ec_sat.Outcome.Unsat when Certify.refutes_unsat new_formula ~witness:reference ->
+        (* The old solution still satisfies the modified formula, so a
+           claimed UNSAT is provably wrong — report the engine, not the
+           verdict. *)
+        ( None,
+          Ec_util.Budget.Engine_failure
+            (r.Backend.engine, "unsat verdict refuted by previous solution") )
+      | Ec_sat.Outcome.Unsat | Ec_sat.Outcome.Unknown _ -> (None, r.Backend.reason)
     in
-    (outcome, r.Backend.reason, r.Backend.counters)
+    (outcome, reason, r.Backend.counters)
   in
   let run () =
     match strategy with
@@ -87,34 +98,51 @@ let apply_change_response ?(strategy = Fast) ?(solver = Backend.cdcl)
           r.Fast_ec.counters )
       | None ->
         (* Graceful degradation: the cone was unsatisfiable (the fast
-           algorithm is incomplete) or its solve ran out of allowance —
-           fall back to a full re-solve under whatever budget is left.
-           On an exhausted budget the full solve trips at its first
-           check, so the fallback costs at most one tick. *)
+           algorithm is incomplete), its solve ran out of allowance, or
+           its merge failed certification — fall back to a full
+           re-solve under whatever budget is left.  On an exhausted
+           budget the full solve trips at its first check, so the
+           fallback costs at most one tick. *)
         let remaining = Ec_util.Budget.consume budget r.Fast_ec.counters in
         let outcome, reason, full_counters = full_resolve remaining in
         (outcome, reason, Ec_util.Budget.add r.Fast_ec.counters full_counters))
     | Preserve engine -> (
-      let r = Preserving.resolve ~engine ~budget new_formula ~reference in
-      match r.Preserving.solution with
-      | Some a -> (Some (a, None), r.Preserving.reason, Ec_util.Budget.zero)
-      | None -> (None, r.Preserving.reason, Ec_util.Budget.zero))
+      (* The preserving engines drive CDCL / branch & bound directly
+         (not through Backend's containment), so the exception wall is
+         here. *)
+      match Preserving.resolve ~engine ~budget new_formula ~reference with
+      | r -> (
+        match r.Preserving.solution with
+        | Some a -> (Some (a, None), r.Preserving.reason, r.Preserving.counters)
+        | None -> (None, r.Preserving.reason, r.Preserving.counters))
+      | exception exn ->
+        ( None,
+          Ec_util.Budget.Engine_failure ("preserving", Printexc.to_string exn),
+          Ec_util.Budget.zero ))
   in
   let (result, reason, counters), elapsed = Ec_util.Stopwatch.time run in
-  let result =
+  (* Certification wall: no assignment leaves the flow unchecked.  Each
+     strategy already certifies internally; this final clause-by-clause
+     pass (O(formula)) also covers the merge bookkeeping above it. *)
+  let result, reason =
     match result with
-    | None -> None
-    | Some (a, sub) ->
-      Some
-        { new_formula;
-          new_assignment = a;
-          strategy;
-          preserved_fraction =
-            Ec_cnf.Assignment.preserved_fraction ~old_assignment:reference a;
-          sub_instance_size = sub;
-          resolve_time_s = elapsed;
-          reason;
-          counters }
+    | None -> (None, reason)
+    | Some (a, sub) -> (
+      match Certify.check_model new_formula a with
+      | Error detail ->
+        (None, Ec_util.Budget.Engine_failure ("flow", "result certification failed: " ^ detail))
+      | Ok () ->
+        ( Some
+            { new_formula;
+              new_assignment = a;
+              strategy;
+              preserved_fraction =
+                Ec_cnf.Assignment.preserved_fraction ~old_assignment:reference a;
+              sub_instance_size = sub;
+              resolve_time_s = elapsed;
+              reason;
+              counters },
+          reason ))
   in
   { result; reason; counters }
 

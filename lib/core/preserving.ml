@@ -10,6 +10,7 @@ type result = {
   total : int;
   optimal : bool;
   reason : Ec_util.Budget.reason;
+  counters : Ec_util.Budget.counters;
 }
 
 let preserved_fraction r =
@@ -86,13 +87,15 @@ let resolve_ilp options pins weights budget f ~reference =
       preserved = 0;
       total = compared;
       optimal = r.Ec_ilpsolver.Bnb.reason = Ec_util.Budget.Completed;
-      reason = r.Ec_ilpsolver.Bnb.reason }
+      reason = r.Ec_ilpsolver.Bnb.reason;
+      counters = r.Ec_ilpsolver.Bnb.counters }
   | Some a ->
     { solution = Some a;
       preserved = agreement_count reference a;
       total = compared;
       optimal = solution.Ec_ilp.Solution.status = Ec_ilp.Solution.Optimal;
-      reason = r.Ec_ilpsolver.Bnb.reason }
+      reason = r.Ec_ilpsolver.Bnb.reason;
+      counters = r.Ec_ilpsolver.Bnb.counters }
 
 (* --- SAT engine --------------------------------------------------- *)
 
@@ -199,6 +202,7 @@ let resolve_sat options pins budget f ~reference =
   (* One budget for the whole binary search: each probe solves under
      what the previous probes left. *)
   let remaining = ref (Ec_util.Budget.combine budget options.Ec_sat.Cdcl.budget) in
+  let spent = ref Ec_util.Budget.zero in
   let stop_reason = ref Ec_util.Budget.Completed in
   let disagreements a =
     List.length
@@ -217,6 +221,7 @@ let resolve_sat options pins budget f ~reference =
     let options = { options with Ec_sat.Cdcl.budget = !remaining } in
     let r = Ec_sat.Cdcl.solve_response ~options big in
     remaining := Ec_util.Budget.consume !remaining r.Ec_sat.Cdcl.counters;
+    spent := Ec_util.Budget.add !spent r.Ec_sat.Cdcl.counters;
     match r.Ec_sat.Cdcl.outcome with
     | Ec_sat.Outcome.Sat a -> Some (decode a)
     | Ec_sat.Outcome.Unsat -> None
@@ -249,13 +254,15 @@ let resolve_sat options pins budget f ~reference =
       preserved = 0;
       total = compared;
       optimal = !stop_reason = Ec_util.Budget.Completed;
-      reason = !stop_reason }
+      reason = !stop_reason;
+      counters = !spent }
   | Some a ->
     { solution = Some a;
       preserved = agreement_count reference a;
       total = compared;
       optimal = !stop_reason = Ec_util.Budget.Completed;
-      reason = !stop_reason }
+      reason = !stop_reason;
+      counters = !spent }
 
 let resolve ?(engine = default_engine) ?(pins = []) ?(weights = [])
     ?(budget = Ec_util.Budget.unlimited) f ~reference =

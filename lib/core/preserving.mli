@@ -41,6 +41,11 @@ type result = {
       (** [Completed] when the engine finished; otherwise what cut the
           optimization short (the best solution found so far is still
           returned) *)
+  counters : Ec_util.Budget.counters;
+      (** what the optimization spent — the single B&B solve, or the
+          sum over the cardinality engine's binary-search probes.
+          {!Flow.apply_change_response} threads these into its own
+          totals like the other strategies. *)
 }
 
 val resolve :

@@ -12,17 +12,21 @@ let resolve config f' p =
   else begin
     let sub_vars = List.length s.Ec_core.Fast_ec.vars in
     let sub_clauses = List.length s.Ec_core.Fast_ec.marked in
+    (* Uncertified answers (certified = false) count as failed solves:
+       the cone path falls back to a full re-solve, and an uncertified
+       full re-solve is an unsolved trial. *)
     match Protocol.exact_resolve config s.Ec_core.Fast_ec.sub_formula with
-    | Some (sub, _) ->
+    | Some { Protocol.assignment = sub; certified = true; _ } ->
       let merged = Ec_cnf.Assignment.merge_on ~vars:s.Ec_core.Fast_ec.vars ~base:p ~overlay:sub in
       if Ec_cnf.Assignment.satisfies merged f' then
         { solution = Some merged; sub_vars; sub_clauses; fell_back = false }
       else
         (* Defensive: the merge theorem says this cannot happen. *)
         { solution = None; sub_vars; sub_clauses; fell_back = true }
-    | None -> (
+    | Some _ | None -> (
       (* Cone unsatisfiable (fast EC is incomplete): full re-solve. *)
       match Protocol.exact_resolve config f' with
-      | Some (a, _) -> { solution = Some a; sub_vars; sub_clauses; fell_back = true }
-      | None -> { solution = None; sub_vars; sub_clauses; fell_back = true })
+      | Some { Protocol.assignment = a; certified = true; _ } ->
+        { solution = Some a; sub_vars; sub_clauses; fell_back = true }
+      | Some _ | None -> { solution = None; sub_vars; sub_clauses; fell_back = true })
   end

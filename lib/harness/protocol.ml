@@ -44,10 +44,20 @@ let instances config =
 let is_heuristic_tier (inst : Ec_instances.Registry.instance) =
   inst.spec.tier = Ec_instances.Registry.Heuristic
 
-let decode_timed enc solve =
+type timed_solve = {
+  assignment : Ec_cnf.Assignment.t;
+  time_s : float;
+  certified : bool;
+}
+
+let decode_timed formula enc solve =
   let solution, elapsed = Ec_util.Stopwatch.time solve in
   match Ec_core.Encode.decode enc solution with
-  | Some a -> Some (a, elapsed)
+  | Some a ->
+    let certified =
+      match Ec_core.Certify.check_model formula a with Ok () -> true | Error _ -> false
+    in
+    Some { assignment = a; time_s = elapsed; certified }
   | None -> None
 
 let initial_solve config (inst : Ec_instances.Registry.instance) =
@@ -62,13 +72,13 @@ let initial_solve config (inst : Ec_instances.Registry.instance) =
          Tables 2/3.  The exact engine serves both tiers here — the
          min-conflicts heuristic cannot navigate the flexibility rows
          (see EXPERIMENTS.md). *)
-      decode_timed enc (fun () ->
+      decode_timed inst.formula enc (fun () ->
           fst (Ec_ilpsolver.Bnb.solve_decision ~options:(bnb_options config) model))
     else if is_heuristic_tier inst then
-      decode_timed enc (fun () ->
+      decode_timed inst.formula enc (fun () ->
           fst (Ec_ilpsolver.Heuristic.solve ~options:(heuristic_options config) model))
     else
-      decode_timed enc (fun () ->
+      decode_timed inst.formula enc (fun () ->
           fst (Ec_ilpsolver.Bnb.solve ~options:(bnb_options config) model))
   in
   (* Note: no DC-recovery pass here.  Releasing variables concentrates
@@ -83,5 +93,5 @@ let exact_resolve config formula =
   (* Decision mode, like the initial solves: the re-solve question is
      "find a valid completion", and optimization-mode caps would
      otherwise dominate the occasional hard cone. *)
-  decode_timed enc (fun () ->
+  decode_timed formula enc (fun () ->
       fst (Ec_ilpsolver.Bnb.solve_decision ~options:(bnb_options config) model))

@@ -43,19 +43,28 @@ val instances : config -> Ec_instances.Registry.instance list
 
 val is_heuristic_tier : Ec_instances.Registry.instance -> bool
 
+type timed_solve = {
+  assignment : Ec_cnf.Assignment.t;
+  time_s : float;
+  certified : bool;
+      (** the decoded assignment passed an independent clause-by-clause
+          re-check against the instance's CNF
+          ({!Ec_core.Certify.check_model}); tables must treat
+          [certified = false] as an unsolved instance, never as data *)
+}
+
 val initial_solve :
-  config -> Ec_instances.Registry.instance ->
-  (Ec_cnf.Assignment.t * float) option
+  config -> Ec_instances.Registry.instance -> timed_solve option
 (** The "Orig. Runtime" column: solve the instance's set-cover ILP —
     branch & bound on the [Exact] tier, first-feasible heuristic on the
     [Heuristic] tier — and return the decoded assignment with the
-    wall-clock seconds.  With [enabled_initial] the model carries the
-    §5 flexibility rows and the decoded solution is DC-recovered, so
-    the change experiments start from the Figure-1 "EC solution".
-    [None] if the solve failed within limits. *)
+    wall-clock seconds and its certification status.  With
+    [enabled_initial] the model carries the §5 flexibility rows and the
+    decoded solution is DC-recovered, so the change experiments start
+    from the Figure-1 "EC solution".  [None] if the solve failed within
+    limits. *)
 
-val exact_resolve :
-  config -> Ec_cnf.Formula.t -> (Ec_cnf.Assignment.t * float) option
+val exact_resolve : config -> Ec_cnf.Formula.t -> timed_solve option
 (** The "off-the-shelf re-solve" used on modified instances and
     fast-EC cones: branch & bound in decision mode, regardless of
     tier. *)

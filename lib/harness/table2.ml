@@ -19,7 +19,10 @@ type result = {
 let run_instance config rng (inst : Ec_instances.Registry.instance) =
   match Protocol.initial_solve config inst with
   | None -> None
-  | Some (a0, orig_s) ->
+  | Some { Protocol.certified = false; _ } ->
+    (* An uncertified "solution" is an unsolved instance, not data. *)
+    None
+  | Some { Protocol.assignment = a0; time_s = orig_s; certified = _ } ->
     let sub_vars = ref [] and sub_clauses = ref [] and times = ref [] in
     let fallbacks = ref 0 in
     for _ = 1 to config.trials do

@@ -24,7 +24,8 @@ let baseline_resolve config tie_seed f' =
 let run_instance config rng (inst : Ec_instances.Registry.instance) =
   match Protocol.initial_solve config inst with
   | None -> None
-  | Some (a0, _) ->
+  | Some { Protocol.certified = false; _ } -> None
+  | Some { Protocol.assignment = a0; _ } ->
     let orig_fracs = ref [] and ec_fracs = ref [] in
     let ec_optimal = ref 0 in
     let trials_done = ref 0 in

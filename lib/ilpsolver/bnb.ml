@@ -349,7 +349,25 @@ let rec search st options ~stop_at_first ~depth =
       try_value first_value;
       try_value (1 - first_value)
 
+(* Chaos-test failpoint payloads ({!Ec_util.Fault}): one flipped entry
+   of the solution point, or a forged infeasibility verdict. *)
+let corrupt_solution rng (s : Ec_ilp.Solution.t) =
+  if Array.length s.Ec_ilp.Solution.values = 0 then s
+  else begin
+    let values = Array.copy s.Ec_ilp.Solution.values in
+    let i = Ec_util.Rng.int rng (Array.length values) in
+    values.(i) <- 1.0 -. values.(i);
+    { s with Ec_ilp.Solution.values }
+  end
+
+let forge_infeasible (s : Ec_ilp.Solution.t) =
+  match s.Ec_ilp.Solution.status with
+  | Ec_ilp.Solution.Optimal | Ec_ilp.Solution.Feasible -> Ec_ilp.Solution.infeasible
+  | Ec_ilp.Solution.Infeasible | Ec_ilp.Solution.Unbounded | Ec_ilp.Solution.Unknown -> s
+
 let run ?(options = default_options) ~stop_at_first model =
+  Ec_util.Fault.maybe_raise "bnb.solve";
+  let options = { options with budget = Ec_util.Fault.burn "bnb.solve" options.budget } in
   let sys = Rows.of_model model in
   let st = make_state sys in
   st.budget <- options.budget;
@@ -392,6 +410,10 @@ let run ?(options = default_options) ~stop_at_first model =
         objective }
     | None ->
       if complete then Ec_ilp.Solution.infeasible else Ec_ilp.Solution.unknown
+  in
+  let solution =
+    Ec_util.Fault.point "bnb.answer" ~corrupt:corrupt_solution ~forge:forge_infeasible
+      solution
   in
   { solution;
     reason;

@@ -75,3 +75,15 @@ val solve : ?options:options -> Ec_ilp.Model.t -> Ec_ilp.Solution.t * stats
 
 val solve_decision : ?options:options -> Ec_ilp.Model.t -> Ec_ilp.Solution.t * stats
 (** {!solve_decision_response} without the control-plane fields. *)
+
+(** {2 Chaos-test failpoint payloads}
+
+    Shared by the [bnb.answer] and [heuristic.answer] failpoints
+    ({!Ec_util.Fault}); certification downstream must catch both. *)
+
+val corrupt_solution : Ec_util.Rng.t -> Ec_ilp.Solution.t -> Ec_ilp.Solution.t
+(** Flip one entry of the solution point (x ↦ 1 − x); solutions
+    without a point are unchanged. *)
+
+val forge_infeasible : Ec_ilp.Solution.t -> Ec_ilp.Solution.t
+(** Replace an [Optimal]/[Feasible] verdict with [Infeasible]. *)

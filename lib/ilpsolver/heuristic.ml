@@ -129,6 +129,10 @@ let pick_move rng opts s row =
   end
 
 let solve_response ?(options = default_options) model =
+  Ec_util.Fault.maybe_raise "heuristic.solve";
+  let options =
+    { options with budget = Ec_util.Fault.burn "heuristic.solve" options.budget }
+  in
   let gauge = Ec_util.Budget.start options.budget in
   let sys = Rows.of_model model in
   let nrows = Array.length sys.Rows.rows in
@@ -207,6 +211,10 @@ let solve_response ?(options = default_options) model =
         values = Array.map float_of_int point;
         objective = Rows.report_objective sys !best_obj }
     | None -> Ec_ilp.Solution.unknown
+  in
+  let solution =
+    Ec_util.Fault.point "heuristic.answer" ~corrupt:Bnb.corrupt_solution
+      ~forge:Bnb.forge_infeasible solution
   in
   { solution;
     reason = !reason;

@@ -511,6 +511,8 @@ let counters_of s ~wall_s : Ec_util.Budget.counters =
     spent_wall_s = wall_s }
 
 let solve_response ?(options = default_options) ?(assumptions = []) formula =
+  Ec_util.Fault.maybe_raise "cdcl.solve";
+  let options = { options with budget = Ec_util.Fault.burn "cdcl.solve" options.budget } in
   let gauge = Ec_util.Budget.start options.budget in
   let s = create_solver options formula in
   let contradiction = ref false in
@@ -529,6 +531,10 @@ let solve_response ?(options = default_options) ?(assumptions = []) formula =
       | R_sat -> (Outcome.Sat (extract_assignment s), Ec_util.Budget.Completed)
       | R_unsat -> (Outcome.Unsat, Ec_util.Budget.Completed)
       | R_unknown r -> (Outcome.Unknown r, r)
+  in
+  let outcome =
+    Ec_util.Fault.point "cdcl.answer" ~corrupt:Outcome.corrupt ~forge:Outcome.forge_unsat
+      outcome
   in
   { outcome;
     reason;

@@ -13,6 +13,8 @@ exception Budget of Ec_util.Budget.reason
 (* Simplified formula view: clauses as literal lists, absent clauses
    satisfied.  Assignments accumulate in an association stack. *)
 let solve_response ?(options = default_options) formula =
+  Ec_util.Fault.maybe_raise "dpll.solve";
+  let options = { budget = Ec_util.Fault.burn "dpll.solve" options.budget } in
   let gauge = Ec_util.Budget.start options.budget in
   let nodes = ref 0 in
   let module A = Ec_cnf.Assignment in
@@ -113,6 +115,10 @@ let solve_response ?(options = default_options) formula =
         (Outcome.Sat a, Ec_util.Budget.Completed)
       | None -> (Outcome.Unsat, Ec_util.Budget.Completed)
       | exception Budget r -> (Outcome.Unknown r, r)
+  in
+  let outcome =
+    Ec_util.Fault.point "dpll.answer" ~corrupt:Outcome.corrupt ~forge:Outcome.forge_unsat
+      outcome
   in
   { outcome;
     reason;

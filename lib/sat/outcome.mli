@@ -10,6 +10,15 @@ type t =
 
 val is_sat : t -> bool
 
+val corrupt : Ec_util.Rng.t -> t -> t
+(** Flip one variable of a [Sat] model (True ↔ False, DC → True);
+    other outcomes unchanged.  Target of the [*.answer] failpoints'
+    [Corrupt_model] action ({!Ec_util.Fault}) — what a memory fault or
+    a decode bug in an engine would look like from outside. *)
+
+val forge_unsat : t -> t
+(** Replace a [Sat] answer with [Unsat]; the forged-verdict fault. *)
+
 val unknown_reason : t -> Ec_util.Budget.reason option
 
 val to_string : t -> string

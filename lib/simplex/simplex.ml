@@ -105,6 +105,8 @@ let optimize t ~allowed ~check =
   loop 0
 
 let solve_canonical ?(budget = Ec_util.Budget.unlimited) ~a ~b ~c () =
+  Ec_util.Fault.maybe_raise "simplex.solve";
+  let budget = Ec_util.Fault.burn "simplex.solve" budget in
   let gauge = Ec_util.Budget.start budget in
   let pivots0 = !total_iterations in
   let check () =

@@ -5,6 +5,7 @@ type reason =
   | Node_budget
   | Iteration_budget
   | Cancelled
+  | Engine_failure of string * string
 
 let reason_to_string = function
   | Completed -> "completed"
@@ -13,6 +14,8 @@ let reason_to_string = function
   | Node_budget -> "node-budget"
   | Iteration_budget -> "iteration-budget"
   | Cancelled -> "cancelled"
+  | Engine_failure (engine, detail) ->
+    Printf.sprintf "engine-failure(%s: %s)" engine detail
 
 type t = {
   time_s : float option;

@@ -24,6 +24,12 @@ type reason =
   | Node_budget
   | Iteration_budget  (** heuristic flips / simplex pivots exhausted *)
   | Cancelled         (** the cooperative cancellation flag was raised *)
+  | Engine_failure of string * string
+      (** the engine itself misbehaved — it raised an exception, or its
+          answer failed independent certification ({!Ec_core.Certify}).
+          Carries the engine name and a human-readable detail.  A
+          fallback chain treats it like any local exhaustion: the next
+          stage still gets a chance. *)
 
 val reason_to_string : reason -> string
 

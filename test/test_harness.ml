@@ -39,10 +39,11 @@ let test_initial_solve_enabled () =
   let inst = R.build (R.scale 0.1 (R.find "jnh201")) in
   match P.initial_solve tiny_config inst with
   | None -> Alcotest.fail "initial solve should succeed"
-  | Some (a, t) ->
+  | Some { P.assignment = a; time_s = t; certified } ->
     check Alcotest.bool "satisfies" true (Ec_cnf.Assignment.satisfies a inst.formula);
     check Alcotest.bool "enabled (Figure-1 EC solution)" true
       (Ec_core.Enabling.verify inst.formula a);
+    check Alcotest.bool "certified" true certified;
     check Alcotest.bool "time recorded" true (t >= 0.0)
 
 let test_initial_solve_plain () =
@@ -50,13 +51,15 @@ let test_initial_solve_plain () =
   let cfg = { tiny_config with P.enabled_initial = false } in
   match P.initial_solve cfg inst with
   | None -> Alcotest.fail "plain solve should succeed"
-  | Some (a, _) ->
+  | Some { P.assignment = a; _ } ->
     check Alcotest.bool "satisfies" true (Ec_cnf.Assignment.satisfies a inst.formula)
 
 let test_exact_resolve () =
   let f = Ec_cnf.Formula.of_lists ~num_vars:3 [ [ 1; 2 ]; [ -1; 3 ] ] in
   (match P.exact_resolve tiny_config f with
-  | Some (a, _) -> check Alcotest.bool "valid" true (Ec_cnf.Assignment.satisfies a f)
+  | Some { P.assignment = a; certified; _ } ->
+    check Alcotest.bool "valid" true (Ec_cnf.Assignment.satisfies a f);
+    check Alcotest.bool "certified" true certified
   | None -> Alcotest.fail "satisfiable");
   let unsat = Ec_cnf.Formula.of_lists ~num_vars:1 [ [ 1 ]; [ -1 ] ] in
   check Alcotest.bool "unsat detected" true (P.exact_resolve tiny_config unsat = None)
@@ -65,7 +68,7 @@ let test_fast_resolver () =
   let inst = R.build (R.scale 0.1 (R.find "ii8a1")) in
   match P.initial_solve tiny_config inst with
   | None -> Alcotest.fail "initial"
-  | Some (a0, _) ->
+  | Some { P.assignment = a0; _ } ->
     let rng = Ec_util.Rng.create 17 in
     let script =
       Ec_cnf.Change.fast_ec_script rng inst.formula ~eliminate:2 ~add:5 ~clause_width:3
