@@ -20,6 +20,24 @@ dune runtest
 echo "== dune runtest (chaos, ECSAT_FAULT_SEED=20020610) =="
 ECSAT_FAULT_SEED=20020610 dune runtest --force
 
+# Portfolio smoke: race four engine configurations on a regenerated
+# benchmark; exit 10 is the SAT-competition "satisfiable" code.
+echo "== portfolio smoke (ecsat solve --jobs 4) =="
+PORTFOLIO_CNF=$(mktemp /tmp/ecsat-ci-XXXXXX.cnf)
+trap 'rm -f "$PORTFOLIO_CNF"' EXIT
+dune exec bin/ecsat.exe -- gen par8-1-c -o "$PORTFOLIO_CNF"
+status=0
+dune exec bin/ecsat.exe -- solve "$PORTFOLIO_CNF" --jobs 4 --verify || status=$?
+[ "$status" -eq 10 ] || { echo "portfolio smoke: expected exit 10, got $status"; exit 1; }
+
+# Portfolio chaos: one racer is killed mid-solve; the race must still
+# produce the certified answer on the surviving domain.
+echo "== portfolio chaos (one racer killed, --jobs 2) =="
+status=0
+ECSAT_FAULTS="portfolio.racer=raise:1" \
+  dune exec bin/ecsat.exe -- solve "$PORTFOLIO_CNF" --jobs 2 --verify || status=$?
+[ "$status" -eq 10 ] || { echo "portfolio chaos: expected exit 10, got $status"; exit 1; }
+
 # ocamlformat is not part of the minimal toolchain; check formatting
 # only where it is available so the script works in both environments.
 if command -v ocamlformat >/dev/null 2>&1; then

@@ -8,7 +8,10 @@
      dune exec bench/main.exe -- --scale 0.3     # bigger instances
      dune exec bench/main.exe -- --trials 10     # more trials per instance
      dune exec bench/main.exe -- --paper         # full paper sizes (hours)
-     dune exec bench/main.exe -- --skip-micro --skip-ablations *)
+     dune exec bench/main.exe -- --skip-micro --skip-ablations
+     dune exec bench/main.exe -- --table 2 --jobs 4
+         # portfolio mode: time the table at jobs=1 vs jobs=4, race the
+         # engine portfolio over the suite, write BENCH_portfolio.json *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -23,12 +26,14 @@ type args = {
   mutable skip_micro : bool;
   mutable skip_ablations : bool;
   mutable skip_tables : bool;
+  mutable jobs : int;
 }
 
 let parse_args () =
   let a =
     { table = None; scale = Ec_harness.Protocol.default_config.scale; trials = 5;
-      paper = false; skip_micro = false; skip_ablations = false; skip_tables = false }
+      paper = false; skip_micro = false; skip_ablations = false; skip_tables = false;
+      jobs = 1 }
   in
   let rec go = function
     | [] -> ()
@@ -40,6 +45,9 @@ let parse_args () =
       go rest
     | "--trials" :: n :: rest ->
       a.trials <- int_of_string n;
+      go rest
+    | "--jobs" :: n :: rest | "-j" :: n :: rest ->
+      a.jobs <- max 1 (int_of_string n);
       go rest
     | "--paper" :: rest ->
       a.paper <- true;
@@ -61,11 +69,12 @@ let parse_args () =
   a
 
 let config_of args =
-  if args.paper then Ec_harness.Protocol.paper_config
+  if args.paper then { Ec_harness.Protocol.paper_config with jobs = args.jobs }
   else
     { Ec_harness.Protocol.default_config with
       scale = args.scale;
       trials = args.trials;
+      jobs = args.jobs;
       (* keep the default end-to-end run in the ten-minute range *)
       budget = Ec_util.Budget.create ~time_s:15.0 ~nodes:5_000_000 () }
 
@@ -86,6 +95,77 @@ let run_tables args config =
     section "Table 3 (paper Table 3: preserving EC)";
     print_endline (Ec_harness.Table3.render (Ec_harness.Table3.run ~progress config))
   end
+
+(* ---------------- portfolio benchmark ---------------- *)
+
+(* With --jobs N > 1: time each requested table at jobs=1 and jobs=N,
+   race the portfolio over the registry suite for an engine-win
+   histogram, and leave the numbers in BENCH_portfolio.json so future
+   changes have a perf trajectory to regress against. *)
+let run_portfolio args config =
+  section (Printf.sprintf "Portfolio (--jobs %d)" args.jobs);
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  recommended domain count on this machine: %d\n%!" cores;
+  let tables = match args.table with None -> [ 1; 2; 3 ] | Some t -> [ t ] in
+  let time_table n jobs =
+    let cfg = { config with Ec_harness.Protocol.jobs } in
+    let progress _ = () in
+    snd
+      (Ec_util.Stopwatch.time (fun () ->
+           match n with
+           | 1 -> ignore (Ec_harness.Table1.run ~progress cfg)
+           | 2 -> ignore (Ec_harness.Table2.run ~progress cfg)
+           | 3 -> ignore (Ec_harness.Table3.run ~progress cfg)
+           | _ -> ()))
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let t_seq = time_table n 1 in
+        let t_par = time_table n args.jobs in
+        Printf.printf "  table %d: jobs 1 %8.3fs — jobs %d %8.3fs — speedup x%.2f\n%!" n
+          t_seq args.jobs t_par
+          (if t_par > 0.0 then t_seq /. t_par else nan);
+        (n, t_seq, t_par))
+      tables
+  in
+  Ec_core.Backend.reset_wins ();
+  let racers = Ec_core.Backend.default_portfolio ~jobs:args.jobs () in
+  List.iter
+    (fun (inst : Ec_instances.Registry.instance) ->
+      ignore
+        (Ec_core.Backend.solve_portfolio ~budget:config.Ec_harness.Protocol.budget racers
+           inst.formula))
+    (Ec_harness.Protocol.instances config);
+  let wins = Ec_core.Backend.wins () in
+  Printf.printf "  engine wins over the registry suite: %s\n"
+    (String.concat ", " (List.map (fun (e, n) -> Printf.sprintf "%s=%d" e n) wins));
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" args.jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scale\": %g,\n  \"trials\": %d,\n"
+       config.Ec_harness.Protocol.scale config.trials);
+  Buffer.add_string buf "  \"tables\": [\n";
+  List.iteri
+    (fun i (n, t_seq, t_par) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"table\": %d, \"jobs1_s\": %.6f, \"jobsN_s\": %.6f, \"speedup\": %.4f}%s\n"
+           n t_seq t_par
+           (if t_par > 0.0 then t_seq /. t_par else nan)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"engine_wins\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map (fun (e, n) -> Printf.sprintf "\"%s\": %d" e n) wins));
+  Buffer.add_string buf "}\n}\n";
+  let oc = open_out "BENCH_portfolio.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "  wrote BENCH_portfolio.json"
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
@@ -439,6 +519,9 @@ let () =
     "ILP-based engineering change — bench harness (scale %.2f, %d trials%s)\n"
     config.Ec_harness.Protocol.scale config.trials
     (if args.paper then ", PAPER-SCALE RUN" else "");
-  if not args.skip_tables then run_tables args config;
-  if not args.skip_micro then run_micro ();
-  if not args.skip_ablations then run_ablations args
+  if args.jobs > 1 then run_portfolio args config
+  else begin
+    if not args.skip_tables then run_tables args config;
+    if not args.skip_micro then run_micro ();
+    if not args.skip_ablations then run_ablations args
+  end

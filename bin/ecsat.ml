@@ -64,6 +64,17 @@ let conflicts_arg =
 
 let budget_of timeout conflicts = Ec_util.Budget.create ?time_s:timeout ?conflicts ()
 
+let jobs_arg =
+  let doc =
+    "Parallelism (OCaml domains).  $(b,solve): race a portfolio of $(docv) \
+     diversified engine configurations, first certified answer wins, losers \
+     are cancelled cooperatively.  $(b,fast): race the fast-EC cone re-solve \
+     against warm-started full re-solves.  $(b,tables): fan instances over a \
+     $(docv)-wide domain pool.  1 (the default) is the sequential path, \
+     bit-identical to previous behavior."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let load file = Ec_cnf.Dimacs.parse_file file
 
 let verify_arg =
@@ -122,21 +133,42 @@ let report_solution ?verify f = function
 (* ---- solve ---- *)
 
 let solve_cmd =
-  let run file backend timeout conflicts verify =
+  let run file backend timeout conflicts verify jobs =
     let f = load file in
-    let backend = Ec_core.Backend.with_budget backend (budget_of timeout conflicts) in
-    let r, t =
-      Ec_util.Stopwatch.time (fun () -> Ec_core.Backend.solve_response backend f)
-    in
-    Printf.printf "c backend=%s time=%.4fs conflicts=%d nodes=%d\n"
-      (Ec_core.Backend.name backend) t
-      r.Ec_core.Backend.counters.Ec_util.Budget.spent_conflicts
-      r.Ec_core.Backend.counters.Ec_util.Budget.spent_nodes;
-    report_solution ~verify f r.Ec_core.Backend.outcome
+    if jobs > 1 then begin
+      let racers = Ec_core.Backend.default_portfolio ~prefer:backend ~jobs () in
+      let pr, t =
+        Ec_util.Stopwatch.time (fun () ->
+            Ec_core.Backend.solve_portfolio ~budget:(budget_of timeout conflicts) racers f)
+      in
+      let r = pr.Ec_core.Backend.response in
+      Printf.printf "c portfolio jobs=%d racers=%s\n" jobs
+        (String.concat ","
+           (List.map
+              (fun rep -> rep.Ec_core.Backend.racer_engine)
+              pr.Ec_core.Backend.reports));
+      Printf.printf "c winner=%s time=%.4fs conflicts=%d nodes=%d (all racers)\n"
+        r.Ec_core.Backend.engine t
+        r.Ec_core.Backend.counters.Ec_util.Budget.spent_conflicts
+        r.Ec_core.Backend.counters.Ec_util.Budget.spent_nodes;
+      report_solution ~verify f r.Ec_core.Backend.outcome
+    end
+    else begin
+      let backend = Ec_core.Backend.with_budget backend (budget_of timeout conflicts) in
+      let r, t =
+        Ec_util.Stopwatch.time (fun () -> Ec_core.Backend.solve_response backend f)
+      in
+      Printf.printf "c backend=%s time=%.4fs conflicts=%d nodes=%d\n"
+        (Ec_core.Backend.name backend) t
+        r.Ec_core.Backend.counters.Ec_util.Budget.spent_conflicts
+        r.Ec_core.Backend.counters.Ec_util.Budget.spent_nodes;
+      report_solution ~verify f r.Ec_core.Backend.outcome
+    end
   in
   let doc = "solve a DIMACS CNF instance" in
   Cmd.v (Cmd.info "solve" ~doc)
-    Term.(const run $ cnf_file $ backend $ timeout_arg $ conflicts_arg $ verify_arg)
+    Term.(const run $ cnf_file $ backend $ timeout_arg $ conflicts_arg $ verify_arg
+          $ jobs_arg)
 
 (* ---- enable ---- *)
 
@@ -192,12 +224,12 @@ let with_initial file backend k =
   | Some init -> k f init
 
 let fast_cmd =
-  let run file backend add eliminate timeout conflicts verify =
+  let run file backend add eliminate timeout conflicts verify jobs =
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
         let r =
           Ec_core.Flow.apply_change_response ~strategy:Ec_core.Flow.Fast
-            ~solver:backend ~budget:(budget_of timeout conflicts) init script
+            ~solver:backend ~budget:(budget_of timeout conflicts) ~jobs init script
         in
         match r.Ec_core.Flow.result with
         | None -> report_no_solution r.Ec_core.Flow.reason
@@ -212,7 +244,7 @@ let fast_cmd =
   let doc = "apply changes and re-solve with fast EC (paper \xc2\xa76, Figure 2)" in
   Cmd.v (Cmd.info "fast" ~doc)
     Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ timeout_arg
-          $ conflicts_arg $ verify_arg)
+          $ conflicts_arg $ verify_arg $ jobs_arg)
 
 let preserve_cmd =
   let run file backend add eliminate use_sat timeout conflicts verify =
@@ -321,14 +353,15 @@ let gen_cmd =
 (* ---- tables ---- *)
 
 let tables_cmd =
-  let run table scale trials no_large paper =
+  let run table scale trials no_large paper jobs =
     let config =
-      if paper then Ec_harness.Protocol.paper_config
+      if paper then { Ec_harness.Protocol.paper_config with jobs }
       else
         { Ec_harness.Protocol.default_config with
           scale;
           trials;
-          include_large = not no_large }
+          include_large = not no_large;
+          jobs }
     in
     let progress s = Printf.eprintf "[%s]\n%!" s in
     let run_one = function
@@ -362,7 +395,7 @@ let tables_cmd =
   in
   let doc = "regenerate the paper's result tables" in
   Cmd.v (Cmd.info "tables" ~doc)
-    Term.(const run $ table $ scale $ trials $ no_large $ paper)
+    Term.(const run $ table $ scale $ trials $ no_large $ paper $ jobs_arg)
 
 let () =
   (* Fault-injection hook: ECSAT_FAULTS="seed=7;cdcl.answer=corrupt;..."

@@ -224,7 +224,8 @@ let solve_model ?budget t model = (solve_model_response ?budget t model).solutio
 
 let default_chain = [ ilp_exact; ilp_heuristic; cdcl ]
 
-let solve_chain ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint stages formula =
+let solve_chain_sequential ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint stages
+    formula =
   let stages = if stages = [] then [ cdcl ] else stages in
   let rec go remaining spent = function
     | [] -> assert false
@@ -264,3 +265,173 @@ let solve_chain ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint stages fo
         else go (Ec_util.Budget.consume remaining r.counters) spent rest)
   in
   go budget Ec_util.Budget.zero stages
+
+(* --- parallel portfolio ----------------------------------------------- *)
+
+type racer_report = {
+  racer_engine : string;
+  racer_reason : Ec_util.Budget.reason;
+  racer_counters : Ec_util.Budget.counters;
+  racer_won : bool;
+}
+
+type portfolio_response = {
+  response : response;
+  reports : racer_report list;
+}
+
+(* Engine-win histogram across the process, for the bench harness:
+   which portfolio member actually answers, per workload. *)
+let wins_lock = Mutex.create ()
+
+let win_counts : (string, int) Hashtbl.t = Hashtbl.create 7
+
+let record_win engine =
+  Mutex.lock wins_lock;
+  Hashtbl.replace win_counts engine
+    (1 + Option.value ~default:0 (Hashtbl.find_opt win_counts engine));
+  Mutex.unlock wins_lock
+
+let wins () =
+  Mutex.lock wins_lock;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) win_counts [] in
+  Mutex.unlock wins_lock;
+  List.sort compare l
+
+let reset_wins () =
+  Mutex.lock wins_lock;
+  Hashtbl.reset win_counts;
+  Mutex.unlock wins_lock
+
+(* Diversified CDCL configurations: distinct seeds, decay rates and
+   restart cadences make racers explore different parts of the search
+   space, which is where a portfolio's wall-clock advantage comes
+   from. *)
+let cdcl_variant i =
+  let o = Ec_sat.Cdcl.default_options in
+  let decays = [| 0.95; 0.85; 0.99; 0.90 |] in
+  let restarts = [| 100; 64; 256; 150 |] in
+  Cdcl
+    { o with
+      Ec_sat.Cdcl.seed = reseed o.Ec_sat.Cdcl.seed i;
+      var_decay = decays.(i mod Array.length decays);
+      restart_base = restarts.(i mod Array.length restarts) }
+
+let default_portfolio ?prefer ~jobs () =
+  let jobs = max 1 jobs in
+  let catalog =
+    (match prefer with Some t -> [ t ] | None -> [])
+    @ [ cdcl; ilp_exact; cdcl_variant 1; ilp_heuristic; cdcl_variant 2; dpll ]
+  in
+  let rec take n i = function
+    | _ when n = 0 -> []
+    | [] -> cdcl_variant i :: take (n - 1) (i + 1) []
+    | t :: rest -> t :: take (n - 1) i rest
+  in
+  take jobs 3 catalog
+
+(* Grow a chain's stages into exactly [jobs] racers; extra slots are
+   filled with diversified CDCL configurations. *)
+let expand_racers ~jobs stages =
+  let rec fill n i = if n = 0 then [] else cdcl_variant i :: fill (n - 1) (i + 1) in
+  let n = List.length stages in
+  if n >= jobs then List.filteri (fun i _ -> i < jobs) stages
+  else stages @ fill (jobs - n) 1
+
+let solve_portfolio ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint racers
+    formula =
+  let racers = if racers = [] then [ cdcl ] else racers in
+  (* One cancellation flag shared by every racer: the winner raises it
+     from its own domain, losers observe it at their next budget
+     check.  A flag the caller may have put on [budget] is re-homed —
+     portfolio cancellation must not signal the caller's other work. *)
+  let shared, _flag = Ec_util.Budget.with_cancel budget in
+  let decisive (r : response) =
+    match r.outcome with
+    | Ec_sat.Outcome.Sat _ | Ec_sat.Outcome.Unsat -> true
+    | Ec_sat.Outcome.Unknown _ -> false
+  in
+  let run_racer stage () =
+    Ec_util.Fault.maybe_delay "portfolio.domain";
+    Ec_util.Fault.maybe_raise "portfolio.racer";
+    let stage = match hint with None -> stage | Some h -> with_phase_hint stage h in
+    let r = solve_response ?recover_dc ~budget:shared stage formula in
+    (* Same witness cross-examination as the sequential chain: an
+       UNSAT verdict contradicted by a live warm-start witness must
+       not win the race. *)
+    match (r.outcome, hint) with
+    | Ec_sat.Outcome.Unsat, Some w when Certify.refutes_unsat formula ~witness:w ->
+      let reason =
+        Ec_util.Budget.Engine_failure (r.engine, "unsat verdict refuted by known witness")
+      in
+      { r with outcome = Ec_sat.Outcome.Unknown reason; reason }
+    | _ -> r
+  in
+  let race =
+    Ec_util.Pool.with_pool (List.length racers) (fun pool ->
+        Ec_util.Pool.race pool ~accept:decisive
+          ~on_winner:(fun _ -> Ec_util.Budget.cancel shared)
+          (List.map run_racer racers))
+  in
+  let reports =
+    List.mapi
+      (fun i stage ->
+        match race.Ec_util.Pool.results.(i) with
+        | Ec_util.Pool.Returned (r : response) ->
+          { racer_engine = r.engine;
+            racer_reason = r.reason;
+            racer_counters = r.counters;
+            racer_won = race.Ec_util.Pool.winner = Some i }
+        | Ec_util.Pool.Raised e ->
+          (* A crashed racer: recorded, zero counters, never the
+             winner — the race outcome belongs to the others. *)
+          { racer_engine = name stage;
+            racer_reason = Ec_util.Budget.Engine_failure (name stage, Printexc.to_string e);
+            racer_counters = Ec_util.Budget.zero;
+            racer_won = false })
+      racers
+  in
+  let total =
+    List.fold_left
+      (fun acc rep -> Ec_util.Budget.add acc rep.racer_counters)
+      Ec_util.Budget.zero reports
+  in
+  let base =
+    match race.Ec_util.Pool.winner with
+    | Some i -> (
+      match race.Ec_util.Pool.results.(i) with
+      | Ec_util.Pool.Returned r -> r
+      | Ec_util.Pool.Raised _ -> assert false)
+    | None -> (
+      (* No decisive answer: report the most informative loser —
+         prefer a real exhaustion or failure over Cancelled. *)
+      let returned =
+        Array.to_list race.Ec_util.Pool.results
+        |> List.filter_map (function
+             | Ec_util.Pool.Returned r -> Some r
+             | Ec_util.Pool.Raised _ -> None)
+      in
+      match returned with
+      | [] ->
+        let rep = List.hd reports in
+        { outcome = Ec_sat.Outcome.Unknown rep.racer_reason;
+          reason = rep.racer_reason;
+          counters = Ec_util.Budget.zero;
+          engine = rep.racer_engine }
+      | first :: _ -> (
+        match
+          List.find_opt (fun (r : response) -> r.reason <> Ec_util.Budget.Cancelled)
+            returned
+        with
+        | Some best -> best
+        | None -> first))
+  in
+  if race.Ec_util.Pool.winner <> None then record_win base.engine;
+  { response = { base with counters = total }; reports }
+
+let solve_chain ?recover_dc ?budget ?hint ?(jobs = 1) stages formula =
+  if jobs <= 1 then solve_chain_sequential ?recover_dc ?budget ?hint stages formula
+  else
+    let stages = if stages = [] then [ cdcl ] else stages in
+    (solve_portfolio ?recover_dc ?budget ?hint (expand_racers ~jobs stages) formula)
+      .response

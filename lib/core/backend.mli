@@ -101,6 +101,7 @@ val solve_chain :
   ?recover_dc:bool ->
   ?budget:Ec_util.Budget.t ->
   ?hint:Ec_cnf.Assignment.t ->
+  ?jobs:int ->
   t list -> Ec_cnf.Formula.t -> response
 (** Run the stages in order until one returns a definitive outcome.
     Each stage solves under what remains of [budget] after its
@@ -109,4 +110,59 @@ val solve_chain :
     or a cancellation ends the chain immediately.  [hint] warm-starts
     every stage that supports it ({!with_phase_hint}).  The returned
     counters are the chain-wide totals; [engine] names the stage that
-    produced the final outcome.  An empty list means [[cdcl]]. *)
+    produced the final outcome.  An empty list means [[cdcl]].
+
+    [jobs] (default 1) switches the chain from falling through to
+    {e racing}: with [jobs > 1] the stages (grown to [jobs] racers
+    with diversified CDCL configurations) run concurrently under
+    {!solve_portfolio} and the first certified answer wins.  [jobs <=
+    1] takes the sequential path above, bit-identical to previous
+    behavior. *)
+
+(** {2 Parallel portfolio}
+
+    Race N engine configurations across domains ({!Ec_util.Pool});
+    the first racer whose answer survives certification wins, the
+    rest are stopped cooperatively — the shared {!Ec_util.Budget}
+    cancellation flag is raised by the winner and every engine
+    observes it at its next budget check. *)
+
+type racer_report = {
+  racer_engine : string;
+  racer_reason : Ec_util.Budget.reason;
+      (** losers typically report [Cancelled]; a crashed racer reports
+          [Engine_failure] *)
+  racer_counters : Ec_util.Budget.counters;
+  racer_won : bool;
+}
+
+type portfolio_response = {
+  response : response;
+      (** the winner's answer; its [counters] are the {e aggregate}
+          over all racers, so observability survives parallelism *)
+  reports : racer_report list;  (** per-racer detail, in racer order *)
+}
+
+val default_portfolio : ?prefer:t -> jobs:int -> unit -> t list
+(** A diversified racer list of length [max 1 jobs]: [prefer] (if
+    given) first, then default CDCL, branch & bound, CDCL variants
+    (distinct seeds / decay / restart base), the heuristic, and DPLL. *)
+
+val solve_portfolio :
+  ?recover_dc:bool ->
+  ?budget:Ec_util.Budget.t ->
+  ?hint:Ec_cnf.Assignment.t ->
+  t list -> Ec_cnf.Formula.t -> portfolio_response
+(** Race the given engine configurations on [formula], all under
+    [budget] plus one shared cancellation flag.  The first decisive
+    answer (certified Sat, or an Unsat not refuted by [hint]) wins and
+    cancels the rest; a racer that raises is contained and never
+    affects the others' race.  If no racer is decisive, the response
+    reports the most informative loser (preferring a real exhaustion
+    over [Cancelled]).  An empty list means [[cdcl]]. *)
+
+val wins : unit -> (string * int) list
+(** Process-wide engine-win histogram (sorted by engine name):
+    incremented each time a portfolio race has a winner. *)
+
+val reset_wins : unit -> unit

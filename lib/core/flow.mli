@@ -65,6 +65,7 @@ val apply_change_response :
   ?strategy:resolve_strategy ->
   ?solver:Backend.t ->
   ?budget:Ec_util.Budget.t ->
+  ?jobs:int ->
   initial ->
   Ec_cnf.Change.t list ->
   response
@@ -73,12 +74,22 @@ val apply_change_response :
     re-solve when the cone is unsatisfiable or over budget).  [budget]
     is one end-to-end allowance: the fallback full re-solve runs under
     what the cone solve left ({!Ec_util.Budget.consume}), so the pair
-    overshoots a deadline by at most one check granularity. *)
+    overshoots a deadline by at most one check granularity.
+
+    [jobs] (default 1) parallelizes the strategy: with [jobs > 1] and
+    [Fast], the cone re-solve races [jobs - 1] warm-started full
+    re-solves on separate domains under one shared cancellation flag —
+    the paper's Figure 2 fast-vs-full decision made empirically per
+    instance; [sub_instance_size] is [Some _] iff the fast side won.
+    With [Full], the re-solve runs as a {!Backend.solve_portfolio}.
+    [jobs <= 1] is bit-identical to previous sequential behavior;
+    [Preserve] ignores [jobs]. *)
 
 val apply_change :
   ?strategy:resolve_strategy ->
   ?solver:Backend.t ->
   ?budget:Ec_util.Budget.t ->
+  ?jobs:int ->
   initial ->
   Ec_cnf.Change.t list ->
   updated option

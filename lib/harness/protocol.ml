@@ -5,6 +5,7 @@ type config = {
   budget : Ec_util.Budget.t;
   include_large : bool;
   enabled_initial : bool;
+  jobs : int;
 }
 
 let default_config =
@@ -13,7 +14,8 @@ let default_config =
     seed = 20020610; (* DAC 2002 opened June 10 *)
     budget = Ec_util.Budget.create ~time_s:30.0 ~nodes:5_000_000 ();
     include_large = true;
-    enabled_initial = true }
+    enabled_initial = true;
+    jobs = 1 }
 
 let paper_config =
   { scale = 1.0;
@@ -21,7 +23,8 @@ let paper_config =
     seed = 20020610;
     budget = Ec_util.Budget.unlimited;
     include_large = true;
-    enabled_initial = true }
+    enabled_initial = true;
+    jobs = 1 }
 
 let bnb_options config =
   { Ec_ilpsolver.Bnb.default_options with budget = config.budget }
@@ -43,6 +46,20 @@ let instances config =
 
 let is_heuristic_tier (inst : Ec_instances.Registry.instance) =
   inst.spec.tier = Ec_instances.Registry.Heuristic
+
+(* Batch parallelism: table rows are independent, so instances fan out
+   over a domain pool when the config asks for more than one job.  At
+   [jobs <= 1] this is a plain in-order [List.map] on the calling
+   domain — bit-identical to the historical sequential harness.
+   Results preserve input order either way. *)
+let map_instances config f xs =
+  if config.jobs <= 1 then List.map f xs
+  else Ec_util.Pool.with_pool config.jobs (fun pool -> Ec_util.Pool.map_list pool f xs)
+
+(* Deterministic per-instance RNG stream for parallel table runs:
+   derived from the config seed and the instance's position, so a
+   parallel run is reproducible regardless of completion order. *)
+let instance_seed config idx = config.seed lxor (0x9E3779B9 * (idx + 1))
 
 type timed_solve = {
   assignment : Ec_cnf.Assignment.t;

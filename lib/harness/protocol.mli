@@ -24,6 +24,14 @@ type config = {
       (** produce the initial solution through enabling EC, as in the
           paper's Figure-1 flow (the "EC solution" feeds the modify
           stage).  Off = plain solve; the bench ablates the two. *)
+  jobs : int;
+      (** batch parallelism: instances fan out over a domain pool of
+          this size ({!Ec_util.Pool}).  [1] (the default) runs the
+          historical sequential path bit-identically; [> 1] switches
+          the tables to deterministic per-instance RNG streams
+          ({!instance_seed}), so a parallel run is reproducible but
+          draws different random change scripts than a sequential
+          one. *)
 }
 
 val default_config : config
@@ -42,6 +50,15 @@ val instances : config -> Ec_instances.Registry.instance list
     false. *)
 
 val is_heuristic_tier : Ec_instances.Registry.instance -> bool
+
+val map_instances : config -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map over independent work items: in-order on the
+    calling domain when [config.jobs <= 1], fanned over a
+    [config.jobs]-wide domain pool otherwise. *)
+
+val instance_seed : config -> int -> int
+(** Deterministic RNG seed for the instance at the given position in a
+    parallel table run; independent of completion order. *)
 
 type timed_solve = {
   assignment : Ec_cnf.Assignment.t;

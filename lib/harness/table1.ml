@@ -100,15 +100,20 @@ let run_heuristic config (inst : Ec_instances.Registry.instance) =
 
 let run ?(progress = fun _ -> ()) config =
   let instances = Protocol.instances config in
-  let exact_rows = ref [] and heuristic_rows = ref [] in
-  List.iter
-    (fun inst ->
-      progress ("table1: " ^ inst.Ec_instances.Registry.spec.name);
-      if Protocol.is_heuristic_tier inst then
-        heuristic_rows := run_heuristic config inst :: !heuristic_rows
-      else exact_rows := run_exact config inst :: !exact_rows)
-    instances;
-  { exact_rows = List.rev !exact_rows; heuristic_rows = List.rev !heuristic_rows }
+  (* Rows are independent: fan them over the pool (or run in order at
+     jobs <= 1 — see Protocol.map_instances) and partition after. *)
+  let rows =
+    Protocol.map_instances config
+      (fun inst ->
+        progress ("table1: " ^ inst.Ec_instances.Registry.spec.name);
+        if Protocol.is_heuristic_tier inst then (inst, `Heuristic (run_heuristic config inst))
+        else (inst, `Exact (run_exact config inst)))
+      instances
+  in
+  { exact_rows =
+      List.filter_map (fun (_, r) -> match r with `Exact row -> Some row | `Heuristic _ -> None) rows;
+    heuristic_rows =
+      List.filter_map (fun (_, r) -> match r with `Heuristic row -> Some row | `Exact _ -> None) rows }
 
 let summary_rows rows =
   let of_col f = List.map f rows in

@@ -56,18 +56,37 @@ let run_instance config rng (inst : Ec_instances.Registry.instance) =
         fallbacks = !fallbacks }
 
 let run ?(progress = fun _ -> ()) config =
-  let rng = Ec_util.Rng.create config.Protocol.seed in
   let instances = Protocol.instances config in
+  let results =
+    if config.Protocol.jobs <= 1 then
+      (* Sequential path: one RNG threaded across instances in suite
+         order, bit-identical to the historical harness. *)
+      let rng = Ec_util.Rng.create config.Protocol.seed in
+      List.map
+        (fun inst ->
+          progress ("table2: " ^ inst.Ec_instances.Registry.spec.name);
+          (inst, run_instance config rng inst))
+        instances
+    else
+      (* Parallel path: each instance draws its change scripts from its
+         own deterministic stream, so results do not depend on domain
+         scheduling. *)
+      Protocol.map_instances config
+        (fun (idx, inst) ->
+          progress ("table2: " ^ inst.Ec_instances.Registry.spec.name);
+          let rng = Ec_util.Rng.create (Protocol.instance_seed config idx) in
+          (inst, run_instance config rng inst))
+        (List.mapi (fun i inst -> (i, inst)) instances)
+  in
   let exact_rows = ref [] and heuristic_rows = ref [] in
   List.iter
-    (fun inst ->
-      progress ("table2: " ^ inst.Ec_instances.Registry.spec.name);
-      match run_instance config rng inst with
+    (fun ((inst : Ec_instances.Registry.instance), row) ->
+      match row with
       | None -> progress ("table2: " ^ inst.spec.name ^ " initial solve failed, skipped")
       | Some row ->
         if Protocol.is_heuristic_tier inst then heuristic_rows := row :: !heuristic_rows
         else exact_rows := row :: !exact_rows)
-    instances;
+    results;
   { exact_rows = List.rev !exact_rows; heuristic_rows = List.rev !heuristic_rows }
 
 let render result =

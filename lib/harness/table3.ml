@@ -75,13 +75,25 @@ let run_instance config rng (inst : Ec_instances.Registry.instance) =
           ec_optimal = !ec_optimal }
 
 let run ?(progress = fun _ -> ()) config =
-  let rng = Ec_util.Rng.create (config.Protocol.seed + 3) in
+  let instances = Protocol.instances config in
   let rows =
-    List.filter_map
-      (fun inst ->
-        progress ("table3: " ^ inst.Ec_instances.Registry.spec.name);
-        run_instance config rng inst)
-      (Protocol.instances config)
+    if config.Protocol.jobs <= 1 then
+      (* Sequential path: one RNG threaded across instances in suite
+         order, bit-identical to the historical harness. *)
+      let rng = Ec_util.Rng.create (config.Protocol.seed + 3) in
+      List.filter_map
+        (fun inst ->
+          progress ("table3: " ^ inst.Ec_instances.Registry.spec.name);
+          run_instance config rng inst)
+        instances
+    else
+      Protocol.map_instances config
+        (fun (idx, inst) ->
+          progress ("table3: " ^ inst.Ec_instances.Registry.spec.name);
+          let rng = Ec_util.Rng.create (Protocol.instance_seed config idx + 3) in
+          run_instance config rng inst)
+        (List.mapi (fun i inst -> (i, inst)) instances)
+      |> List.filter_map Fun.id
   in
   { rows }
 

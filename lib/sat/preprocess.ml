@@ -183,12 +183,20 @@ let resolvent a b ~pivot =
    The sweep stops as soon as a resolvent unit is queued: a pending
    unit is a clause that occurrence lists cannot see, so eliminating
    any further variable before propagating it would resolve over an
-   incomplete clause set (and the reconstruction would be wrong). *)
+   incomplete clause set (and the reconstruction would be wrong).
+
+   Pending non-unit resolvents only enter the clause array (and the
+   occurrence lists) after the sweep, so any variable they mention is
+   off limits for the rest of the sweep: its pos/neg lists are
+   incomplete, and both the resolution and the saved clauses recorded
+   for reconstruction would miss those clauses. *)
 let eliminate st ~max_occurrences =
   let appended = ref [] in
   let stop = ref false in
+  let pending = Array.make (st.nvars + 1) false in
   for v = 1 to st.nvars do
-    if (not !stop) && st.units = [] && st.value.(v) = 0 then begin
+    if (not !stop) && (not pending.(v)) && st.units = [] && st.value.(v) = 0
+    then begin
       let pos = live_occ st v and neg = live_occ st (-v) in
       let np = List.length pos and nn = List.length neg in
       if np > 0 && nn > 0 && np <= max_occurrences && nn <= max_occurrences then begin
@@ -213,7 +221,9 @@ let eliminate st ~max_occurrences =
               | [ u ] ->
                 st.units <- u :: st.units;
                 stop := true
-              | _ -> appended := lits :: !appended)
+              | _ ->
+                List.iter (fun l -> pending.(Ec_cnf.Lit.var l) <- true) lits;
+                appended := lits :: !appended)
             resolvents
         end
       end

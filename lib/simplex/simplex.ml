@@ -9,9 +9,14 @@ exception Cut_exn of Ec_util.Budget.reason
 let eps_pivot = 1e-9
 let eps_feas = 1e-7
 
-let total_iterations = ref 0
+(* Domain-local so concurrent portfolio racers don't corrupt each
+   other's pivot deltas; callers always measure a before/after
+   difference on one domain, which stays exact. *)
+let total_iterations = Domain.DLS.new_key (fun () -> ref 0)
 
-let iterations_performed () = !total_iterations
+let counter () = Domain.DLS.get total_iterations
+
+let iterations_performed () = !(counter ())
 
 (* Tableau layout: [rows] is an m-array of (ncols+1)-arrays, the last
    entry being the rhs.  [obj] is the objective row (reduced costs),
@@ -25,7 +30,7 @@ type tableau = {
 }
 
 let pivot t ~row ~col =
-  incr total_iterations;
+  incr (counter ());
   let prow = t.rows.(row) in
   let p = prow.(col) in
   for j = 0 to t.ncols do
@@ -108,9 +113,10 @@ let solve_canonical ?(budget = Ec_util.Budget.unlimited) ~a ~b ~c () =
   Ec_util.Fault.maybe_raise "simplex.solve";
   let budget = Ec_util.Fault.burn "simplex.solve" budget in
   let gauge = Ec_util.Budget.start budget in
-  let pivots0 = !total_iterations in
+  let pivots = counter () in
+  let pivots0 = !pivots in
   let check () =
-    Ec_util.Budget.check gauge ~iterations:(!total_iterations - pivots0)
+    Ec_util.Budget.check gauge ~iterations:(!pivots - pivots0)
   in
   try
   let m = Array.length a in

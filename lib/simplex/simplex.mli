@@ -39,5 +39,7 @@ val solve_model : ?budget:Ec_util.Budget.t -> Ec_ilp.Model.t -> Ec_ilp.Solution.
     @raise Invalid_argument on a negative lower bound. *)
 
 val iterations_performed : unit -> int
-(** Total pivots since program start; instrumentation for the bench
-    harness's ablations and the per-solve pivot counters. *)
+(** Total pivots performed {e on the calling domain} since it started;
+    instrumentation for the bench harness's ablations and the
+    per-solve pivot counters.  Domain-local so concurrent portfolio
+    racers measure their own before/after deltas exactly. *)

@@ -22,13 +22,15 @@ type t = {
   conflicts : int option;
   nodes : int option;
   iterations : int option;
-  cancel : bool ref;
+  cancel : bool Atomic.t;
 }
 
 (* Shared sentinel: budgets built without an explicit flag all point
    here, so [combine] can tell "no flag" from "a real flag" and
-   [cancel] can refuse to raise a flag shared across every budget. *)
-let never = ref false
+   [cancel] can refuse to raise a flag shared across every budget.
+   The flag is atomic so a portfolio racer on another domain can
+   raise it and the owner observes the store without a data race. *)
+let never = Atomic.make false
 
 let unlimited =
   { time_s = None; conflicts = None; nodes = None; iterations = None; cancel = never }
@@ -42,15 +44,15 @@ let is_unlimited t =
   t.time_s = None && t.conflicts = None && t.nodes = None && t.iterations = None
 
 let with_cancel t =
-  let flag = ref false in
+  let flag = Atomic.make false in
   ({ t with cancel = flag }, flag)
 
 let cancel t =
   if t.cancel == never then
     invalid_arg "Budget.cancel: budget has no cancellation flag (use ~cancel or with_cancel)"
-  else t.cancel := true
+  else Atomic.set t.cancel true
 
-let cancelled t = !(t.cancel)
+let cancelled t = Atomic.get t.cancel
 
 let min_opt a b =
   match (a, b) with
@@ -118,7 +120,7 @@ let elapsed_s g = Unix.gettimeofday () -. g.started
 let over limit spent = match limit with None -> false | Some l -> spent > l
 
 let check ?(conflicts = 0) ?(nodes = 0) ?(iterations = 0) g =
-  if !(g.limit.cancel) then Some Cancelled
+  if Atomic.get g.limit.cancel then Some Cancelled
   else if over g.limit.conflicts conflicts then Some Conflict_budget
   else if over g.limit.nodes nodes then Some Node_budget
   else if over g.limit.iterations iterations then Some Iteration_budget

@@ -38,7 +38,9 @@ type t = {
   conflicts : int option;    (** CDCL / B&B conflicts allowed *)
   nodes : int option;        (** search nodes allowed *)
   iterations : int option;   (** flips / pivots allowed *)
-  cancel : bool ref;         (** cooperative cancellation flag *)
+  cancel : bool Atomic.t;    (** cooperative cancellation flag; atomic
+                                 so it can be raised from another
+                                 domain (portfolio racing) *)
 }
 
 val unlimited : t
@@ -48,7 +50,7 @@ val unlimited : t
 
 val create :
   ?time_s:float -> ?conflicts:int -> ?nodes:int -> ?iterations:int ->
-  ?cancel:bool ref -> unit -> t
+  ?cancel:bool Atomic.t -> unit -> t
 
 val of_time : float -> t
 (** [of_time s] = [create ~time_s:s ()]. *)
@@ -57,9 +59,10 @@ val is_unlimited : t -> bool
 (** No finite limit in any dimension (the cancellation flag may still
     stop a solve). *)
 
-val with_cancel : t -> t * bool ref
-(** Attach a fresh cancellation flag; setting the returned ref to
-    [true] stops any solve running under the budget at its next tick. *)
+val with_cancel : t -> t * bool Atomic.t
+(** Attach a fresh cancellation flag; setting it to [true] (from any
+    domain) stops any solve running under the budget at its next
+    tick. *)
 
 val cancel : t -> unit
 (** Raise the budget's cancellation flag.

@@ -3,6 +3,7 @@ type action =
   | Forge_unsat
   | Raise_exn
   | Burn_budget
+  | Delay
 
 exception Injected of string
 
@@ -11,12 +12,14 @@ let action_to_string = function
   | Forge_unsat -> "forge-unsat"
   | Raise_exn -> "raise"
   | Burn_budget -> "burn"
+  | Delay -> "delay"
 
 let action_of_string = function
   | "corrupt" -> Some Corrupt_model
   | "forge-unsat" | "forge" -> Some Forge_unsat
   | "raise" -> Some Raise_exn
   | "burn" -> Some Burn_budget
+  | "delay" -> Some Delay
   | _ -> None
 
 type arm_state = {
@@ -27,8 +30,13 @@ type arm_state = {
 let default_seed = 0xFA17
 
 (* Production fast path: [armed] is false and every hook is one ref
-   read.  The table is only consulted once something is armed. *)
+   read.  The table is only consulted once something is armed.
+   Portfolio racers run hooks from several domains at once, so the
+   table (and the fire bookkeeping) sits behind a mutex; the unarmed
+   fast path stays a single lock-free read. *)
 let armed = ref false
+
+let lock = Mutex.create ()
 
 let table : (string, arm_state) Hashtbl.t = Hashtbl.create 7
 
@@ -37,16 +45,20 @@ let seed = ref default_seed
 let fire_count = ref 0
 
 let arm ?(times = -1) site action =
+  Mutex.lock lock;
   Hashtbl.replace table site { action; remaining = times };
-  armed := true
+  armed := true;
+  Mutex.unlock lock
 
 let set_seed s = seed := s
 
 let reset () =
+  Mutex.lock lock;
   Hashtbl.reset table;
   armed := false;
   seed := default_seed;
-  fire_count := 0
+  fire_count := 0;
+  Mutex.unlock lock
 
 let enabled () = !armed
 
@@ -56,16 +68,22 @@ let fired () = !fire_count
    can handle; self-disarm when the bound runs out. *)
 let take site accepts =
   if not !armed then None
-  else
-    match Hashtbl.find_opt table site with
-    | None -> None
-    | Some st ->
-      if st.remaining = 0 || not (accepts st.action) then None
-      else begin
-        if st.remaining > 0 then st.remaining <- st.remaining - 1;
-        incr fire_count;
-        Some st.action
-      end
+  else begin
+    Mutex.lock lock;
+    let taken =
+      match Hashtbl.find_opt table site with
+      | None -> None
+      | Some st ->
+        if st.remaining = 0 || not (accepts st.action) then None
+        else begin
+          if st.remaining > 0 then st.remaining <- st.remaining - 1;
+          incr fire_count;
+          Some st.action
+        end
+    in
+    Mutex.unlock lock;
+    taken
+  end
 
 let site_rng site =
   Rng.create (!seed lxor Hashtbl.hash site lxor (0x51 * !fire_count))
@@ -75,15 +93,28 @@ let maybe_raise site =
   | Some Raise_exn -> raise (Injected site)
   | Some _ | None -> ()
 
+let delay_s = 0.05
+
+let maybe_delay site =
+  match take site (fun a -> a = Delay) with
+  | Some Delay -> Unix.sleepf delay_s
+  | Some _ | None -> ()
+
 let burn site budget =
   match take site (fun a -> a = Burn_budget) with
   | Some Burn_budget -> { budget with Budget.time_s = Some 0.0 }
   | Some _ | None -> budget
 
+let peek site =
+  Mutex.lock lock;
+  let st = Hashtbl.find_opt table site in
+  Mutex.unlock lock;
+  st
+
 let point site ?corrupt ?forge v =
   if not !armed then v
   else
-    match (Hashtbl.find_opt table site : arm_state option) with
+    match (peek site : arm_state option) with
     | Some { action = Corrupt_model; _ } when corrupt <> None -> (
       match take site (fun a -> a = Corrupt_model) with
       | Some _ -> (Option.get corrupt) (site_rng site) v
@@ -109,7 +140,9 @@ let sites =
     ("bnb.answer", [ Corrupt_model; Forge_unsat ]);
     ("heuristic.solve", [ Raise_exn; Burn_budget ]);
     ("heuristic.answer", [ Corrupt_model; Forge_unsat ]);
-    ("simplex.solve", [ Raise_exn; Burn_budget ]) ]
+    ("simplex.solve", [ Raise_exn; Burn_budget ]);
+    ("portfolio.racer", [ Raise_exn ]);
+    ("portfolio.domain", [ Delay ]) ]
 
 let configure spec =
   let entries =

@@ -19,15 +19,25 @@
     - ["bnb.solve"], ["bnb.answer"]
     - ["heuristic.solve"], ["heuristic.answer"]
     - ["simplex.solve"]
+    - ["portfolio.racer"], ["portfolio.domain"]
 
     [*.solve] sites honor [Raise_exn] and [Burn_budget]; [*.answer]
-    sites honor [Corrupt_model] and [Forge_unsat]. *)
+    sites honor [Corrupt_model] and [Forge_unsat].
+    ["portfolio.racer"] ([Raise_exn]) kills one racer at its start;
+    ["portfolio.domain"] ([Delay]) stalls a racer's domain before it
+    begins — the chaos suite uses both to prove a crashed or slow
+    racer never loses the race for the others.
+
+    All hooks are safe to run concurrently from several domains: the
+    plan table sits behind a mutex, and the unarmed fast path is a
+    single lock-free read. *)
 
 type action =
   | Corrupt_model   (** bit-flip the returned model / solution point *)
   | Forge_unsat     (** replace a positive answer with UNSAT/infeasible *)
   | Raise_exn       (** raise {!Injected} mid-solve *)
   | Burn_budget     (** zero the solve's allowance so it stops at once *)
+  | Delay           (** sleep ~50ms at the site (portfolio chaos) *)
 
 exception Injected of string
 (** Raised by a site armed with [Raise_exn]; the payload is the site
@@ -37,7 +47,7 @@ exception Injected of string
 val action_to_string : action -> string
 
 val action_of_string : string -> action option
-(** ["corrupt"], ["forge-unsat"], ["raise"], ["burn"]. *)
+(** ["corrupt"], ["forge-unsat"], ["raise"], ["burn"], ["delay"]. *)
 
 val arm : ?times:int -> string -> action -> unit
 (** Arm [site] with [action].  [times] bounds how often the fault
@@ -75,6 +85,10 @@ val configure_from_env : unit -> unit
 
 val maybe_raise : string -> unit
 (** Fire a [Raise_exn] armed at [site].  @raise Injected *)
+
+val maybe_delay : string -> unit
+(** Fire a [Delay] armed at [site]: sleep ~50ms.  Used by the
+    portfolio to simulate a stalled domain. *)
 
 val burn : string -> Budget.t -> Budget.t
 (** [burn site budget] is an already-exhausted budget when [site] is

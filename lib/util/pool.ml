@@ -1,0 +1,135 @@
+type t = {
+  size : int;
+  jobs : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable shutting_down : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.jobs && not pool.shutting_down do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.jobs then Mutex.unlock pool.mutex (* shutting down *)
+  else begin
+    let job = Queue.pop pool.jobs in
+    Mutex.unlock pool.mutex;
+    job ();
+    worker_loop pool
+  end
+
+let create n =
+  let pool =
+    { size = max 1 n;
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      shutting_down = false;
+      domains = [] }
+  in
+  pool.domains <-
+    List.init pool.size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let domains = pool.domains in
+  pool.shutting_down <- true;
+  pool.domains <- [];
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join domains
+
+let with_pool n f =
+  let pool = create n in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+let submit pool f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let run () =
+    let result = try Done (f ()) with e -> Failed e in
+    Mutex.lock fut.fm;
+    fut.state <- result;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+  in
+  Mutex.lock pool.mutex;
+  if pool.shutting_down then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push run pool.jobs;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  while fut.state = Pending do
+    Condition.wait fut.fc fut.fm
+  done;
+  let result = fut.state in
+  Mutex.unlock fut.fm;
+  match result with
+  | Done v -> Ok v
+  | Failed e -> Error e
+  | Pending -> assert false
+
+let map_list pool f xs =
+  let futures = List.map (fun x -> submit pool (fun () -> f x)) xs in
+  let results = List.map await futures in
+  List.map (function Ok v -> v | Error e -> raise e) results
+
+type 'a outcome =
+  | Returned of 'a
+  | Raised of exn
+
+type 'a race_result = {
+  winner : int option;
+  results : 'a outcome array;
+}
+
+let race pool ~accept ~on_winner thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  if n = 0 then invalid_arg "Pool.race: no racers";
+  let wm = Mutex.create () in
+  let winner = ref None in
+  let futures =
+    Array.mapi
+      (fun i f ->
+        submit pool (fun () ->
+            let out = try Returned (f ()) with e -> Raised e in
+            (match out with
+            | Returned v when accept v ->
+              Mutex.lock wm;
+              let first = !winner = None in
+              if first then winner := Some i;
+              Mutex.unlock wm;
+              (* outside the lock: on_winner raises the shared cancel
+                 flag, which must not wait on race bookkeeping *)
+              if first then on_winner i
+            | Returned _ | Raised _ -> ());
+            out))
+      thunks
+  in
+  let results =
+    Array.map (fun fut -> match await fut with Ok out -> out | Error e -> Raised e)
+      futures
+  in
+  { winner = !winner; results }

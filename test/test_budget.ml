@@ -75,7 +75,7 @@ let test_consume () =
 let test_cancel_flag () =
   let b, flag = Bu.with_cancel (Bu.create ~conflicts:5 ()) in
   check Alcotest.bool "fresh flag down" false (Bu.cancelled b);
-  flag := true;
+  Atomic.set flag true;
   check Alcotest.bool "raised" true (Bu.cancelled b);
   Alcotest.check_raises "unlimited has no flag"
     (Invalid_argument "Budget.cancel: budget has no cancellation flag (use ~cancel or with_cancel)")
@@ -96,7 +96,7 @@ let test_cdcl_reasons () =
   let r = solve (Bu.of_time 0.0) searchy in
   check reason "deadline 0" Bu.Deadline r.Ec_sat.Cdcl.reason;
   let b, flag = Bu.with_cancel Bu.unlimited in
-  flag := true;
+  Atomic.set flag true;
   let r = solve b searchy in
   check reason "pre-cancelled" Bu.Cancelled r.Ec_sat.Cdcl.reason;
   (match r.Ec_sat.Cdcl.outcome with
@@ -234,7 +234,7 @@ let test_chain_deadline_is_terminal () =
 
 let test_chain_cancelled_is_terminal () =
   let b, flag = Bu.with_cancel Bu.unlimited in
-  flag := true;
+  Atomic.set flag true;
   let r = Ec_core.Backend.solve_chain ~budget:b Ec_core.Backend.default_chain searchy in
   check reason "cancelled" Bu.Cancelled r.Ec_core.Backend.reason;
   check Alcotest.string "first stage reported" "ilp-bnb" r.Ec_core.Backend.engine
