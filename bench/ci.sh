@@ -12,6 +12,15 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+# Static analysis: the typedtree lint over every library and binary.
+# Fails on any unwaived finding; the JSON report is kept as a build
+# artifact for the record.
+echo "== dune build @lint =="
+dune build @lint
+dune exec bin/eclint.exe -- --format=json _build/default/lib _build/default/bin \
+  > LINT.json
+echo "lint report: LINT.json"
+
 # Chaos pass: the same suite with the fault-injection corruption
 # streams pinned to a fixed seed, so the robustness tests exercise a
 # reproducible-but-different set of bit flips than the library

@@ -1,0 +1,98 @@
+(* eclint — typedtree lint for the solver stack's domain-safety and
+   protocol invariants.
+
+     eclint [PATH ...]           scan .cmt files (dirs searched recursively)
+     eclint --format json ...    machine-readable report
+     eclint --list-checks        the check catalog
+
+   Exit codes: 0 clean (waived findings allowed), 1 unwaived findings,
+   2 usage error.  Waive a deliberate exception in source with
+   (* eclint: allow DS001 — rationale *) on, or just above, the
+   flagged line. *)
+
+open Cmdliner
+
+let paths_arg =
+  let doc =
+    "Files or directories to scan; directories are searched recursively for \
+     $(b,.cmt) artifacts (dune keeps them under \
+     $(b,_build/default/.../.libname.objs/byte/))."
+  in
+  Arg.(value & pos_all string [ "_build/default/lib" ] & info [] ~docv:"PATH" ~doc)
+
+let format_arg =
+  let doc = "Output format: $(b,human) or $(b,json)." in
+  Arg.(value & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+       & info [ "format" ] ~docv:"FMT" ~doc)
+
+let checks_arg =
+  let doc = "Run only this check (repeatable, e.g. $(b,--check DS001))." in
+  Arg.(value & opt_all string [] & info [ "check" ] ~docv:"ID" ~doc)
+
+let warn_arg =
+  let doc = "Downgrade this check to a non-gating warning (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "warn" ] ~docv:"ID" ~doc)
+
+let list_checks_arg =
+  let doc = "Print the check catalog and exit." in
+  Arg.(value & flag & info [ "list-checks" ] ~doc)
+
+let usage_error = 2
+
+let validate_ids ids =
+  List.iter
+    (fun id ->
+      if Ec_lint.Registry.find id = None then begin
+        Printf.eprintf "eclint: unknown check %S (known: %s)\n" id
+          (String.concat ", "
+             (List.map (fun c -> c.Ec_lint.Registry.id) Ec_lint.Registry.all));
+        exit usage_error
+      end)
+    ids
+
+let run paths format checks warn list_checks =
+  if list_checks then begin
+    List.iter
+      (fun (c : Ec_lint.Registry.check) ->
+        Printf.printf "%s  [%s]  %s\n    %s\n" c.Ec_lint.Registry.id
+          (Ec_lint.Finding.severity_to_string c.Ec_lint.Registry.default_severity)
+          c.Ec_lint.Registry.title c.Ec_lint.Registry.doc)
+      Ec_lint.Registry.all;
+    0
+  end
+  else begin
+    validate_ids checks;
+    validate_ids warn;
+    List.iter
+      (fun p ->
+        if not (Sys.file_exists p) then begin
+          Printf.eprintf "eclint: no such file or directory: %s\n" p;
+          exit usage_error
+        end)
+      paths;
+    let report =
+      Ec_lint.Lint.run
+        ?checks:(match checks with [] -> None | ids -> Some ids)
+        ~warn paths
+    in
+    if report.Ec_lint.Lint.units_scanned = 0 then begin
+      Printf.eprintf
+        "eclint: no .cmt implementation units under: %s (build first: dune \
+         build @all)\n"
+        (String.concat " " paths);
+      exit usage_error
+    end;
+    print_string
+      (match format with
+      | `Human -> Ec_lint.Lint.render_human report
+      | `Json -> Ec_lint.Lint.render_json report);
+    Ec_lint.Lint.exit_code report
+  end
+
+let () =
+  let doc = "typedtree-based domain-safety and solver-protocol lint" in
+  let info = Cmd.info "eclint" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(const run $ paths_arg $ format_arg $ checks_arg $ warn_arg $ list_checks_arg)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -75,6 +75,15 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* [--jobs] must be a positive domain count — 0 or a negative value
+   would mean an empty pool.  Rejected the same way as a malformed
+   ECSAT_FAULTS plan: diagnostic on stderr, exit 2. *)
+let check_jobs jobs =
+  if jobs <= 0 then begin
+    Printf.eprintf "ecsat: --jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end
+
 let load file = Ec_cnf.Dimacs.parse_file file
 
 let verify_arg =
@@ -134,6 +143,7 @@ let report_solution ?verify f = function
 
 let solve_cmd =
   let run file backend timeout conflicts verify jobs =
+    check_jobs jobs;
     let f = load file in
     if jobs > 1 then begin
       let racers = Ec_core.Backend.default_portfolio ~prefer:backend ~jobs () in
@@ -225,6 +235,7 @@ let with_initial file backend k =
 
 let fast_cmd =
   let run file backend add eliminate timeout conflicts verify jobs =
+    check_jobs jobs;
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
         let r =
@@ -354,6 +365,7 @@ let gen_cmd =
 
 let tables_cmd =
   let run table scale trials no_large paper jobs =
+    check_jobs jobs;
     let config =
       if paper then { Ec_harness.Protocol.paper_config with jobs }
       else

@@ -60,6 +60,8 @@ type state = {
   mutable tie_rng : Ec_util.Rng.t option;
 }
 
+(* eclint: allow BP001 — placeholder gauge on an unlimited budget;
+   solve re-arms the real gauge and owns the Budget.check polls *)
 let make_state sys =
   let nrows = Array.length sys.Rows.rows in
   let minact = Array.make nrows 0.0 in

@@ -1,0 +1,66 @@
+(* Whole-scan context: every loaded unit plus the cross-unit facts —
+   which units are reachable from domain-pool call sites (DS001's
+   scope) and which record types anywhere in the scan carry mutable
+   fields. *)
+
+type t = {
+  units : Unit_info.t list;
+  reachable : (string, unit) Hashtbl.t;
+      (* unit names reachable from Pool.race / Pool.map_list call sites *)
+  pool_roots : string list;  (* units containing the call sites themselves *)
+  mutable_types : (string, unit) Hashtbl.t;
+      (* record types with mutable fields, under their qualified
+         spellings ("Unit.typename", and "Short.typename" for dune's
+         mangled "Lib__Short" unit names) *)
+}
+
+let reachable t modname = Hashtbl.mem t.reachable modname
+
+let is_mutable_type t name = Hashtbl.mem t.mutable_types name
+
+(* Reachability: a unit is raced if it contains a pool call site, or
+   if a raced unit imports it — the closures handed to [Pool.race] /
+   [Pool.map_list] run on worker domains and may call anything their
+   unit (transitively) depends on.  Computed over [cmt_imports]
+   restricted to the scanned units, a sound over-approximation of the
+   call graph. *)
+let build units =
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun (u : Unit_info.t) -> Hashtbl.replace by_name u.Unit_info.modname u) units;
+  let reachable = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem reachable name) then
+      match Hashtbl.find_opt by_name name with
+      | None -> ()
+      | Some u ->
+        Hashtbl.replace reachable name ();
+        List.iter visit u.Unit_info.imports
+  in
+  let pool_roots =
+    List.filter_map
+      (fun (u : Unit_info.t) ->
+        if u.Unit_info.pool_call_sites <> [] then Some u.Unit_info.modname else None)
+      units
+  in
+  List.iter visit pool_roots;
+  let mutable_types = Hashtbl.create 64 in
+  List.iter
+    (fun (u : Unit_info.t) ->
+      let short =
+        (* "Ec_util__Pool" -> "Pool": the spelling paths use when the
+           reference goes through dune's generated library alias. *)
+        let m = u.Unit_info.modname in
+        match String.rindex_opt m '_' with
+        | Some i when i >= 1 && m.[i - 1] = '_' && i + 1 < String.length m ->
+          Some (String.sub m (i + 1) (String.length m - i - 1))
+        | _ -> None
+      in
+      List.iter
+        (fun ty ->
+          Hashtbl.replace mutable_types (u.Unit_info.modname ^ "." ^ ty) ();
+          match short with
+          | Some s -> Hashtbl.replace mutable_types (s ^ "." ^ ty) ()
+          | None -> ())
+        u.Unit_info.mutable_record_types)
+    units;
+  { units; reachable; pool_roots; mutable_types }

@@ -1,0 +1,71 @@
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  check : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  end_line : int;
+  end_col : int;
+  message : string;
+  waived : bool;
+  waiver : string option;
+}
+
+let make ~check ~severity ~(loc : Location.t) message =
+  let s = loc.loc_start and e = loc.loc_end in
+  { check;
+    severity;
+    file = s.Lexing.pos_fname;
+    line = s.Lexing.pos_lnum;
+    col = s.Lexing.pos_cnum - s.Lexing.pos_bol;
+    end_line = e.Lexing.pos_lnum;
+    end_col = e.Lexing.pos_cnum - e.Lexing.pos_bol;
+    message;
+    waived = false;
+    waiver = None }
+
+let waive ~reason t = { t with waived = true; waiver = Some reason }
+
+let compare a b =
+  let c = Stdlib.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (a.line, a.col) (b.line, b.col) in
+    if c <> 0 then c else Stdlib.compare a.check b.check
+
+let to_human t =
+  Printf.sprintf "%s:%d:%d: [%s/%s]%s %s" t.file t.line t.col t.check
+    (severity_to_string t.severity)
+    (if t.waived then " (waived)" else "")
+    t.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"check\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"end_line\":%d,\"end_col\":%d,\"message\":\"%s\",\"waived\":%b,\"waiver\":%s}"
+    (json_escape t.check)
+    (severity_to_string t.severity)
+    (json_escape t.file) t.line t.col t.end_line t.end_col
+    (json_escape t.message) t.waived
+    (match t.waiver with
+    | None -> "null"
+    | Some r -> Printf.sprintf "\"%s\"" (json_escape r))

@@ -1,0 +1,39 @@
+(** One lint finding: a check identifier, a severity, a source span and
+    a human-readable message.  Findings are immutable; waiving returns
+    an updated copy ({!waive}). *)
+
+type severity = Error | Warning
+
+val severity_to_string : severity -> string
+
+type t = {
+  check : string;        (** check identifier, e.g. ["DS001"] *)
+  severity : severity;
+  file : string;         (** source path as recorded in the [.cmt] *)
+  line : int;            (** 1-based start line *)
+  col : int;             (** 0-based start column *)
+  end_line : int;
+  end_col : int;
+  message : string;
+  waived : bool;
+  waiver : string option;  (** rationale text of the waiver comment *)
+}
+
+val make :
+  check:string -> severity:severity -> loc:Location.t -> string -> t
+(** [make ~check ~severity ~loc message] builds a finding anchored at
+    [loc]'s start position. *)
+
+val waive : reason:string -> t -> t
+
+val compare : t -> t -> int
+(** Order by file, line, column, then check id — the report order. *)
+
+val to_human : t -> string
+(** [file:line:col: [ID/severity] message] (with a [waived] marker). *)
+
+val to_json : t -> string
+(** One finding as a self-contained JSON object. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)

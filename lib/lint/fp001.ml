@@ -1,0 +1,72 @@
+(* FP001 — decisive answers built outside the certification wall.
+
+   [Backend] and [Flow] are the solver-exit layers: every [Sat]/[Unsat]
+   (and every [Feasible]/[Optimal] ILP solution) that leaves them must
+   first pass through [Certify] — the independent re-check that demotes
+   forged or buggy answers to an honest [Unknown] (DESIGN.md §7).  This
+   check flags any toplevel binding in those modules that *constructs*
+   a decisive outcome while referencing nothing from [Certify]: a new
+   exit path added without the wall.  Pre-certification transforms
+   (helpers whose every caller still routes through [Certify]) carry a
+   waiver saying so. *)
+
+let id = "FP001"
+
+(* Module-name fragments that mark a unit as a solver-exit layer.
+   Matched case-insensitively against the compilation unit name. *)
+let scope_fragments = [ "backend"; "flow" ]
+
+let in_scope modname =
+  let m = String.lowercase_ascii modname in
+  let contains frag =
+    let lf = String.length frag and lm = String.length m in
+    let rec go i = i + lf <= lm && (String.sub m i lf = frag || go (i + 1)) in
+    go 0
+  in
+  List.exists contains scope_fragments
+
+(* Decisive constructors, identified by constructor name plus the head
+   of their result type. *)
+let decisive (cd : Types.constructor_description) =
+  let head = Tt_util.head_constr cd.Types.cstr_res in
+  match (cd.Types.cstr_name, head) with
+  | ("Sat" | "Unsat"), Some h when Tt_util.ends_with_segment h "Outcome.t" -> true
+  | ("Feasible" | "Optimal"), Some h when Tt_util.ends_with_segment h "Solution.status"
+    -> true
+  | _ -> false
+
+let check _ctx (u : Unit_info.t) =
+  if not (in_scope u.Unit_info.modname) then []
+  else begin
+    let findings = ref [] in
+    Tt_util.iter_toplevel_bindings u.Unit_info.structure (fun ~name vb ->
+        let touches_certify = ref false in
+        Tt_util.iter_paths_in_expr vb.Typedtree.vb_expr (fun p _ ->
+            if Tt_util.path_mentions (Path.name p) "Certify" then
+              touches_certify := true);
+        if not !touches_certify then begin
+          let it =
+            { Tast_iterator.default_iterator with
+              expr =
+                (fun it e ->
+                  (match e.Typedtree.exp_desc with
+                  | Typedtree.Texp_construct (lid, cd, _) when decisive cd ->
+                    findings :=
+                      Finding.make ~check:id ~severity:Finding.Error
+                        ~loc:lid.Location.loc
+                        (Printf.sprintf
+                           "%s constructs decisive `%s' without passing \
+                            through Certify: a solver exit here can leak an \
+                            uncertified answer"
+                           (match name with
+                           | Some n -> "`" ^ n ^ "'"
+                           | None -> "binding")
+                           cd.Types.cstr_name)
+                      :: !findings
+                  | _ -> ());
+                  Tast_iterator.default_iterator.expr it e) }
+          in
+          it.expr it vb.Typedtree.vb_expr
+        end);
+    List.rev !findings
+  end

@@ -1,0 +1,137 @@
+type report = {
+  findings : Finding.t list;
+  units_scanned : int;
+  cmts_skipped : int;
+}
+
+(* Resolve the source path recorded in a finding's location.  Compiler
+   locations are relative to the directory the compiler ran in — but
+   dune rewrites [cmt_builddir] to the "/workspace_root" placeholder,
+   so it cannot be trusted.  Instead try the relative path against the
+   current directory (a run from the project root) and against every
+   ancestor of the [.cmt] file itself: dune copies sources into
+   [_build/default], so the copy that was actually compiled sits a few
+   levels above the object directory. *)
+let resolve_source ~builddir ~cmt_path file =
+  let candidates =
+    if Filename.is_relative file then
+      let cmt_abs =
+        if Filename.is_relative cmt_path then
+          Filename.concat (Sys.getcwd ()) cmt_path
+        else cmt_path
+      in
+      let rec up acc d =
+        let p = Filename.dirname d in
+        if p = d then List.rev (d :: acc) else up (d :: acc) p
+      in
+      (file :: List.map (fun d -> Filename.concat d file)
+                 (up [] (Filename.dirname cmt_abs)))
+      @ [ Filename.concat builddir file ]
+    else [ file ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+(* Waiver table per source file, scanned lazily: most files have no
+   findings at all. *)
+let waivers_for cache ~builddir ~cmt_path file =
+  match Hashtbl.find_opt cache file with
+  | Some ws -> ws
+  | None ->
+    let ws =
+      match resolve_source ~builddir ~cmt_path file with
+      | Some path -> Waiver.scan_file path
+      | None -> []
+    in
+    Hashtbl.add cache file ws;
+    ws
+
+let apply_waivers cache ~builddir ~cmt_path findings =
+  List.map
+    (fun (f : Finding.t) ->
+      let ws = waivers_for cache ~builddir ~cmt_path f.Finding.file in
+      match Waiver.covers ws ~check:f.Finding.check ~line:f.Finding.line with
+      | Some reason -> Finding.waive ~reason f
+      | None -> f)
+    findings
+
+let run ?checks ?(warn = []) paths =
+  let selected =
+    match checks with
+    | None -> Registry.all
+    | Some ids ->
+      let ids = List.map String.uppercase_ascii ids in
+      List.filter
+        (fun (c : Registry.check) -> List.mem (String.uppercase_ascii c.Registry.id) ids)
+        Registry.all
+  in
+  let warn = List.map String.uppercase_ascii warn in
+  let cmts = Unit_info.collect_cmts paths in
+  let units = List.filter_map Unit_info.load cmts in
+  let ctx = Ctx.build units in
+  let cache = Hashtbl.create 16 in
+  let findings =
+    List.concat_map
+      (fun (u : Unit_info.t) ->
+        List.concat_map
+          (fun (c : Registry.check) ->
+            c.Registry.run ctx u
+            |> List.map (fun (f : Finding.t) ->
+                   if List.mem (String.uppercase_ascii f.Finding.check) warn then
+                     { f with Finding.severity = Finding.Warning }
+                   else f)
+            |> apply_waivers cache ~builddir:u.Unit_info.builddir
+                 ~cmt_path:u.Unit_info.cmt_path)
+          selected)
+      units
+  in
+  { findings = List.sort Finding.compare findings;
+    units_scanned = List.length units;
+    cmts_skipped = List.length cmts - List.length units }
+
+let unwaived_errors r =
+  List.filter
+    (fun (f : Finding.t) ->
+      (not f.Finding.waived) && f.Finding.severity = Finding.Error)
+    r.findings
+
+let render_human r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Finding.to_human f);
+      Buffer.add_char buf '\n')
+    r.findings;
+  let waived = List.length (List.filter (fun f -> f.Finding.waived) r.findings) in
+  let gating = List.length (unwaived_errors r) in
+  let warnings =
+    List.length
+      (List.filter
+         (fun (f : Finding.t) ->
+           (not f.Finding.waived) && f.Finding.severity = Finding.Warning)
+         r.findings)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "eclint: %d unit(s) scanned, %d error(s), %d warning(s), %d waived%s\n"
+       r.units_scanned gating warnings waived
+       (if r.cmts_skipped > 0 then Printf.sprintf " (%d cmt(s) skipped)" r.cmts_skipped
+        else ""));
+  Buffer.contents buf
+
+let render_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"version\":1,\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Finding.to_json f))
+    r.findings;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"summary\":{\"units\":%d,\"skipped\":%d,\"errors\":%d,\"waived\":%d}}"
+       r.units_scanned r.cmts_skipped
+       (List.length (unwaived_errors r))
+       (List.length (List.filter (fun f -> f.Finding.waived) r.findings)));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let exit_code r = if unwaived_errors r = [] then 0 else 1

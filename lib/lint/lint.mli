@@ -1,0 +1,31 @@
+(** The lint driver: load [.cmt] files, run the registered checks,
+    apply source-comment waivers, render reports.
+
+    The scan is whole-program over the set of [.cmt]s handed in —
+    DS001's reachability and the mutable-record-type index are
+    computed across all of them, so a meaningful run passes every
+    library [.cmt] at once (e.g. everything under
+    [_build/default/lib]). *)
+
+type report = {
+  findings : Finding.t list;   (** sorted; waived findings included *)
+  units_scanned : int;
+  cmts_skipped : int;          (** unreadable / interface-only files *)
+}
+
+val run : ?checks:string list -> ?warn:string list -> string list -> report
+(** [run ?checks ?warn paths] scans the [.cmt] files (or directories,
+    searched recursively) in [paths].  [checks] restricts the run to
+    the named check ids; [warn] downgrades the named ids to
+    warnings. *)
+
+val unwaived_errors : report -> Finding.t list
+(** The findings that gate: unwaived and of severity [Error]. *)
+
+val render_human : report -> string
+
+val render_json : report -> string
+
+val exit_code : report -> int
+(** 0 clean (waived findings allowed), 1 when {!unwaived_errors} is
+    non-empty. *)

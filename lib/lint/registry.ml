@@ -1,0 +1,49 @@
+type check = {
+  id : string;
+  title : string;
+  default_severity : Finding.severity;
+  doc : string;
+  run : Ctx.t -> Unit_info.t -> Finding.t list;
+}
+
+let all =
+  [ { id = Ds001.id;
+      title = "toplevel mutable state in Pool-raced code";
+      default_severity = Finding.Error;
+      doc =
+        "toplevel ref/Hashtbl/Buffer/mutable-record state in a module \
+         reachable from Pool.race/Pool.map_list call sites without \
+         Atomic/Mutex/Domain.DLS protection";
+      run = Ds001.check };
+    { id = Ds002.id;
+      title = "global Random state";
+      default_severity = Finding.Error;
+      doc =
+        "use of Stdlib.Random (Random.int, Random.self_init, ...) instead of \
+         explicit Ec_util.Rng streams";
+      run = Ds002.check };
+    { id = Bp001.id;
+      title = "engine never polls its budget";
+      default_severity = Finding.Error;
+      doc =
+        "a solve entry point or gauge-arming binding in an engine module with \
+         no path to Budget.check: budgets and cancellation cannot stop it";
+      run = Bp001.check };
+    { id = Ex001.id;
+      title = "catch-all exception handler";
+      default_severity = Finding.Error;
+      doc =
+        "try ... with _ -> (or an unused binding) that swallows every \
+         exception, including fault and cancellation signals";
+      run = Ex001.check };
+    { id = Fp001.id;
+      title = "decisive answer without certification";
+      default_severity = Finding.Error;
+      doc =
+        "a Backend/Flow binding constructing Sat/Unsat (or Feasible/Optimal) \
+         that never touches Certify";
+      run = Fp001.check } ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun c -> String.uppercase_ascii c.id = id) all

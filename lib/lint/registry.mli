@@ -1,0 +1,16 @@
+(** The check registry: every lint check, with its identity, default
+    severity and documentation line. *)
+
+type check = {
+  id : string;
+  title : string;
+  default_severity : Finding.severity;
+  doc : string;
+  run : Ctx.t -> Unit_info.t -> Finding.t list;
+}
+
+val all : check list
+(** Registration order: DS001, DS002, BP001, EX001, FP001. *)
+
+val find : string -> check option
+(** Lookup by id, case-insensitive. *)

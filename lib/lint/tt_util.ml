@@ -1,0 +1,175 @@
+(* Typedtree traversal helpers shared by the checks.
+
+   Everything here works on the marshalled trees inside [.cmt] files
+   without reconstructing a typing environment: paths are compared by
+   their printed names ([Path.name]), which is robust across the three
+   spellings the compiler records for the same module depending on
+   where the reference was typed ("Ec_util.Budget.start" from outside
+   the library, "Ec_util__Budget.start" through dune's mangled alias,
+   "Budget.start" from inside). *)
+
+(* [ends_with_segment name suffix]: [name] refers to [suffix] up to
+   module-prefix qualification.  The character before the suffix must
+   be a path separator — a dot, or dune's "__" unit mangling — so that
+   "occ_ref" does not match "ref" while "Ec_util__Budget.start"
+   matches "Budget.start". *)
+let ends_with_segment name suffix =
+  let ln = String.length name and ls = String.length suffix in
+  if ln < ls then false
+  else if not (String.sub name (ln - ls) ls = suffix) then false
+  else if ln = ls then true
+  else
+    let before = name.[ln - ls - 1] in
+    before = '.' || (before = '_' && ln - ls >= 2 && name.[ln - ls - 2] = '_')
+
+let path_is suffixes p =
+  let name = Path.name p in
+  List.exists (ends_with_segment name) suffixes
+
+(* [path_mentions name segment]: [segment ^ "."] occurs in [name] at a
+   module boundary (start of the path, after '.', or after "__"). *)
+let path_mentions name segment =
+  let seg = segment ^ "." in
+  let ln = String.length name and ls = String.length seg in
+  let rec scan i =
+    if i + ls > ln then false
+    else if
+      String.sub name i ls = seg
+      && (i = 0
+         || name.[i - 1] = '.'
+         || (name.[i - 1] = '_' && i >= 2 && name.[i - 2] = '_'))
+    then true
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Iterate [f] over every expression in a structure, including those
+   nested in submodules, classes and local modules. *)
+let iter_expressions (str : Typedtree.structure) (f : Typedtree.expression -> unit) =
+  let it =
+    { Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Tast_iterator.default_iterator.expr it e) }
+  in
+  it.structure it str
+
+(* All value-identifier references in an expression subtree, with the
+   location of each occurrence. *)
+let iter_paths_in_expr (e : Typedtree.expression) (f : Path.t -> Location.t -> unit) =
+  let it =
+    { Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, lid, _) -> f p lid.Location.loc
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e) }
+  in
+  it.expr it e
+
+let iter_paths_in_structure (str : Typedtree.structure) (f : Path.t -> Location.t -> unit)
+    =
+  let it =
+    { Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, lid, _) -> f p lid.Location.loc
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e) }
+  in
+  it.structure it str
+
+let expr_mentions_path suffixes e =
+  let found = ref false in
+  iter_paths_in_expr e (fun p _ -> if path_is suffixes p then found := true);
+  !found
+
+(* Does the expression reference the ident [id] (by stamp)? *)
+let expr_uses_ident id e =
+  let found = ref false in
+  iter_paths_in_expr e (fun p _ ->
+      match p with
+      | Path.Pident id' when Ident.same id id' -> found := true
+      | _ -> ());
+  !found
+
+(* Head type constructor of a type, as a printed path, following
+   links.  [None] for arrows, tuples, variables, ... *)
+let head_constr (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (Path.name p)
+  | _ -> None
+
+(* Toplevel value bindings of a structure, recursing into plain
+   submodule structures ([module M = struct ... end]) so that state
+   hidden one module down is still seen.  The callback receives the
+   binding's variable name (when the pattern is a simple variable) and
+   the whole binding. *)
+let rec iter_toplevel_bindings (str : Typedtree.structure)
+    (f : name:string option -> Typedtree.value_binding -> unit) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.Typedtree.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            let name =
+              match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+              | Typedtree.Tpat_var (id, _) -> Some (Ident.name id)
+              | _ -> None
+            in
+            f ~name vb)
+          vbs
+      | Typedtree.Tstr_module mb -> iter_module_binding mb f
+      | Typedtree.Tstr_recmodule mbs -> List.iter (fun mb -> iter_module_binding mb f) mbs
+      | _ -> ())
+    str.Typedtree.str_items
+
+and iter_module_binding (mb : Typedtree.module_binding) f =
+  let rec go (me : Typedtree.module_expr) =
+    match me.Typedtree.mod_desc with
+    | Typedtree.Tmod_structure s -> iter_toplevel_bindings s f
+    | Typedtree.Tmod_constraint (me, _, _, _) -> go me
+    | _ -> ()
+  in
+  go mb.Typedtree.mb_expr
+
+(* Record types declared in this structure whose definition contains a
+   mutable field, as type-constructor names. *)
+let mutable_record_types (str : Typedtree.structure) =
+  let acc = ref [] in
+  let rec go_items items =
+    List.iter
+      (fun (item : Typedtree.structure_item) ->
+        match item.Typedtree.str_desc with
+        | Typedtree.Tstr_type (_, decls) ->
+          List.iter
+            (fun (d : Typedtree.type_declaration) ->
+              match d.Typedtree.typ_kind with
+              | Typedtree.Ttype_record labels ->
+                if
+                  List.exists
+                    (fun (l : Typedtree.label_declaration) ->
+                      l.Typedtree.ld_mutable = Asttypes.Mutable)
+                    labels
+                then acc := Ident.name d.Typedtree.typ_id :: !acc
+              | _ -> ())
+            decls
+        | Typedtree.Tstr_module mb -> go_module mb
+        | Typedtree.Tstr_recmodule mbs -> List.iter go_module mbs
+        | _ -> ())
+      items
+  and go_module (mb : Typedtree.module_binding) =
+    let rec go (me : Typedtree.module_expr) =
+      match me.Typedtree.mod_desc with
+      | Typedtree.Tmod_structure s -> go_items s.Typedtree.str_items
+      | Typedtree.Tmod_constraint (me, _, _, _) -> go me
+      | _ -> ()
+    in
+    go mb.Typedtree.mb_expr
+  in
+  go_items str.Typedtree.str_items;
+  !acc

@@ -1,0 +1,87 @@
+type t = {
+  line : int;
+  checks : string list;
+  reason : string;
+}
+
+let marker = "eclint:"
+
+let is_id_char c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+
+(* Strip comment-closing, separator dashes (ASCII and the UTF-8
+   em-dash) and surrounding blanks from the rationale text. *)
+let clean_reason s =
+  let s = String.trim s in
+  let s =
+    if String.length s >= 2 && String.sub s (String.length s - 2) 2 = "*)" then
+      String.trim (String.sub s 0 (String.length s - 2))
+    else s
+  in
+  let rec strip s =
+    let l = String.length s in
+    if l > 0 && (s.[0] = '-' || s.[0] = ':') then strip (String.trim (String.sub s 1 (l - 1)))
+    else if l >= 3 && String.sub s 0 3 = "\xe2\x80\x94" then
+      strip (String.trim (String.sub s 3 (l - 3)))
+    else s
+  in
+  strip s
+
+let find_sub hay needle from =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = if i + ln > lh then None
+    else if String.sub hay i ln = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Parse one source line; [None] when it holds no waiver. *)
+let parse_line lnum line =
+  match find_sub line marker 0 with
+  | None -> None
+  | Some i -> (
+    let rest = String.sub line (i + String.length marker) (String.length line - i - String.length marker) in
+    let rest = String.trim rest in
+    match find_sub rest "allow" 0 with
+    | Some 0 ->
+      let rest = String.trim (String.sub rest 5 (String.length rest - 5)) in
+      (* The id list: [A-Za-z0-9]+ separated by commas. *)
+      let n = String.length rest in
+      let rec span i =
+        if i < n && (is_id_char rest.[i] || rest.[i] = ',') then span (i + 1) else i
+      in
+      let stop = span 0 in
+      let checks =
+        String.sub rest 0 stop
+        |> String.split_on_char ','
+        |> List.filter (fun s -> s <> "")
+      in
+      if checks = [] then None
+      else
+        Some
+          { line = lnum;
+            checks = List.map String.uppercase_ascii checks;
+            reason = clean_reason (String.sub rest stop (n - stop)) }
+    | _ -> None)
+
+let scan_string text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> parse_line (i + 1) l)
+  |> List.filter_map (fun x -> x)
+
+let scan_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    scan_string text
+
+let covers waivers ~check ~line =
+  let ok w =
+    List.mem check w.checks && w.line <= line && line - w.line <= 2
+  in
+  match List.find_opt ok waivers with
+  | Some w -> Some w.reason
+  | None -> None

@@ -1,0 +1,28 @@
+(** Source-comment waivers.
+
+    A finding is suppressed by a comment of the form
+
+    {[ (* eclint: allow DS001 — rationale *) ]}
+
+    placed on the offending line or on one of the two lines directly
+    above it.  Several checks can be waived at once with a
+    comma-separated list ([allow DS001,EX001 — ...]).  The rationale
+    text is mandatory in spirit — it is carried into the report — but
+    not enforced. *)
+
+type t = {
+  line : int;           (** 1-based line the comment starts on *)
+  checks : string list; (** check ids the waiver names *)
+  reason : string;      (** rationale text after the id list *)
+}
+
+val scan_string : string -> t list
+(** All waivers in the given source text. *)
+
+val scan_file : string -> t list
+(** [scan_file path] is [scan_string (contents of path)]; [[]] when
+    the file cannot be read. *)
+
+val covers : t list -> check:string -> line:int -> string option
+(** The rationale of a waiver for [check] on [line], [line - 1] or
+    [line - 2], if any. *)

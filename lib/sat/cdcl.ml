@@ -82,6 +82,8 @@ type solver = {
   mutable stat_deleted : int;
 }
 
+(* eclint: allow DS001 — immutable-in-practice sentinel: written by no
+   one; only ever compared against by identity as the reason slot filler *)
 let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; lbd = 0; deleted = true }
 
 let value_var s v = s.assigns.(v)

@@ -29,45 +29,48 @@ type arm_state = {
 
 let default_seed = 0xFA17
 
-(* Production fast path: [armed] is false and every hook is one ref
+(* Production fast path: [armed] is false and every hook is one atomic
    read.  The table is only consulted once something is armed.
-   Portfolio racers run hooks from several domains at once, so the
-   table (and the fire bookkeeping) sits behind a mutex; the unarmed
-   fast path stays a single lock-free read. *)
-let armed = ref false
+   Portfolio racers run hooks from several domains at once: the scalar
+   flags are [Atomic.t] (read without the lock, including from
+   [set_seed] and [site_rng]), while the table itself — a compound
+   structure whose entries mutate in place — sits behind [lock]. *)
+let armed = Atomic.make false
 
 let lock = Mutex.create ()
 
+(* eclint: allow DS001 — guarded by [lock]: every read/write of the
+   table and its arm_state entries happens under Mutex.lock *)
 let table : (string, arm_state) Hashtbl.t = Hashtbl.create 7
 
-let seed = ref default_seed
+let seed = Atomic.make default_seed
 
-let fire_count = ref 0
+let fire_count = Atomic.make 0
 
 let arm ?(times = -1) site action =
   Mutex.lock lock;
   Hashtbl.replace table site { action; remaining = times };
-  armed := true;
+  Atomic.set armed true;
   Mutex.unlock lock
 
-let set_seed s = seed := s
+let set_seed s = Atomic.set seed s
 
 let reset () =
   Mutex.lock lock;
   Hashtbl.reset table;
-  armed := false;
-  seed := default_seed;
-  fire_count := 0;
+  Atomic.set armed false;
+  Atomic.set seed default_seed;
+  Atomic.set fire_count 0;
   Mutex.unlock lock
 
-let enabled () = !armed
+let enabled () = Atomic.get armed
 
-let fired () = !fire_count
+let fired () = Atomic.get fire_count
 
 (* Consume one firing of [site] if it is armed with an action [accepts]
    can handle; self-disarm when the bound runs out. *)
 let take site accepts =
-  if not !armed then None
+  if not (Atomic.get armed) then None
   else begin
     Mutex.lock lock;
     let taken =
@@ -77,7 +80,7 @@ let take site accepts =
         if st.remaining = 0 || not (accepts st.action) then None
         else begin
           if st.remaining > 0 then st.remaining <- st.remaining - 1;
-          incr fire_count;
+          Atomic.incr fire_count;
           Some st.action
         end
     in
@@ -86,7 +89,8 @@ let take site accepts =
   end
 
 let site_rng site =
-  Rng.create (!seed lxor Hashtbl.hash site lxor (0x51 * !fire_count))
+  Rng.create
+    (Atomic.get seed lxor Hashtbl.hash site lxor (0x51 * Atomic.get fire_count))
 
 let maybe_raise site =
   match take site (fun a -> a = Raise_exn) with
@@ -112,7 +116,7 @@ let peek site =
   st
 
 let point site ?corrupt ?forge v =
-  if not !armed then v
+  if not (Atomic.get armed) then v
   else
     match (peek site : arm_state option) with
     | Some { action = Corrupt_model; _ } when corrupt <> None -> (

@@ -1,8 +1,8 @@
 (** Deterministic fault injection for the solve stack.
 
     Every engine entry point carries named {e failpoints} ("sites").
-    In production the plan is empty and each hook is a single ref read
-    — effectively a no-op.  Chaos tests (and the [ECSAT_FAULTS]
+    In production the plan is empty and each hook is a single atomic
+    read — effectively a no-op.  Chaos tests (and the [ECSAT_FAULTS]
     environment hook in the CLI) arm sites with an {!action}; the next
     time execution passes an armed site the fault fires: the returned
     model is bit-flipped, a satisfiable answer is forged into UNSAT,
@@ -29,8 +29,8 @@
     racer never loses the race for the others.
 
     All hooks are safe to run concurrently from several domains: the
-    plan table sits behind a mutex, and the unarmed fast path is a
-    single lock-free read. *)
+    plan table sits behind a mutex, the scalar flags are atomics, and
+    the unarmed fast path is a single atomic read. *)
 
 type action =
   | Corrupt_model   (** bit-flip the returned model / solution point *)

@@ -1,0 +1,4 @@
+(* FP001 fixture: a *backend*-named module returning a decisive Sat
+   without crossing the Certify wall. *)
+
+let decide (a : Ec_cnf.Assignment.t) = Ec_sat.Outcome.Sat a

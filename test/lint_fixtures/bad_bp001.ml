@@ -1,0 +1,7 @@
+(* BP001 fixture: arms a budget gauge, loops, and never polls
+   Budget.check — uncancellable under a portfolio race. *)
+
+let solve_spin budget =
+  let _gauge = Ec_util.Budget.start budget in
+  let rec spin n = if n = 0 then 0 else spin (n - 1) in
+  spin 1_000_000

@@ -1,0 +1,4 @@
+(* DS002 fixture: global Random instead of the repo's seeded
+   Ec_util.Rng streams — unreplayable randomness. *)
+
+let roll () = Random.int 6

@@ -1,0 +1,4 @@
+(* EX001 fixture: a catch-all that discards the exception — it would
+   swallow Fault.Injected and certification failures alike. *)
+
+let swallow f = try Some (f ()) with _ -> None

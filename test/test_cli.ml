@@ -1,0 +1,53 @@
+(* CLI contract tests against the ecsat binary itself (built as a dune
+   dependency of this suite; the test cwd is _build/default/test, so
+   the executable sits at ../bin/ecsat.exe).
+
+   The argument-validation convention under test: a structurally
+   invalid invocation — here a non-positive --jobs, which would mean an
+   empty domain pool — is rejected up front with a diagnostic on
+   stderr and exit 2, the same code a malformed ECSAT_FAULTS plan
+   produces.  Kept cheap: one unit-clause formula, a few spawns. *)
+
+let exe = Filename.concat ".." (Filename.concat "bin" "ecsat.exe")
+
+let with_tiny_cnf k =
+  let path = Filename.temp_file "ecsat_cli" ".cnf" in
+  let oc = open_out path in
+  output_string oc "p cnf 1 1\n1 0\n";
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> k path)
+
+(* Run [exe args], returning (exit code, captured stderr). *)
+let run_ecsat args =
+  let err = Filename.temp_file "ecsat_cli" ".err" in
+  let code = Sys.command (Printf.sprintf "%s %s >/dev/null 2>%s" exe args err) in
+  let ic = open_in_bin err in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove err;
+  (code, text)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let reject_jobs sub args () =
+  with_tiny_cnf (fun cnf ->
+      let code, err = run_ecsat (Printf.sprintf "%s %s %s" sub args cnf) in
+      Alcotest.(check int) (sub ^ " " ^ args ^ " exits 2") 2 code;
+      Alcotest.(check bool) "diagnostic names --jobs" true (contains err "--jobs"))
+
+let test_jobs_one_still_solves () =
+  with_tiny_cnf (fun cnf ->
+      let code, _ = run_ecsat ("solve --jobs 1 " ^ cnf) in
+      Alcotest.(check int) "sequential path still answers SAT" 10 code)
+
+let tests =
+  [ ( "cli.jobs-validation",
+      [ Alcotest.test_case "solve --jobs 0" `Quick (reject_jobs "solve" "--jobs 0");
+        Alcotest.test_case "solve --jobs negative" `Quick
+          (reject_jobs "solve" "--jobs=-4");
+        Alcotest.test_case "fast --jobs 0" `Quick (reject_jobs "fast" "--jobs 0");
+        Alcotest.test_case "--jobs 1 unaffected" `Quick test_jobs_one_still_solves ] )
+  ]

@@ -1,0 +1,106 @@
+(* eclint check-suite tests: scan the lint_fixtures library's .cmt
+   artifacts and assert each known-bad module triggers exactly its
+   check, and that the waived fixture is reported but suppressed.
+
+   Runtime cwd is _build/default/test, so the fixture artifacts sit at
+   lint_fixtures/.lint_fixtures.objs/byte/ (built because this test
+   links the lint_fixtures library). *)
+
+let fixtures_dir = "lint_fixtures/.lint_fixtures.objs/byte"
+
+let report = lazy (Ec_lint.Lint.run [ fixtures_dir ])
+
+(* Findings anchored in one fixture source file. *)
+let findings_for base =
+  List.filter
+    (fun (f : Ec_lint.Finding.t) -> Filename.basename f.Ec_lint.Finding.file = base)
+    (Lazy.force report).Ec_lint.Lint.findings
+
+let check_ids fs =
+  List.sort_uniq compare (List.map (fun f -> f.Ec_lint.Finding.check) fs)
+
+(* [base] must carry exactly one finding, of check [id], unwaived. *)
+let assert_exactly base id () =
+  let fs = findings_for base in
+  Alcotest.(check (list string)) (base ^ " triggers exactly " ^ id) [ id ]
+    (check_ids fs);
+  Alcotest.(check int) (base ^ " finding count") 1 (List.length fs);
+  let f = List.hd fs in
+  Alcotest.(check bool) (base ^ " is unwaived") false f.Ec_lint.Finding.waived;
+  Alcotest.(check bool) (base ^ " is an error") true
+    (f.Ec_lint.Finding.severity = Ec_lint.Finding.Error)
+
+let test_waived_fixture () =
+  let fs = findings_for "waived_ds001.ml" in
+  Alcotest.(check (list string)) "waived fixture still reports DS001" [ "DS001" ]
+    (check_ids fs);
+  let f = List.hd fs in
+  Alcotest.(check bool) "finding is waived" true f.Ec_lint.Finding.waived;
+  (match f.Ec_lint.Finding.waiver with
+  | Some reason ->
+    Alcotest.(check bool) "waiver carries the rationale" true
+      (String.length reason > 0)
+  | None -> Alcotest.fail "waived finding lost its rationale");
+  (* The waiver must not gate: a scan of the waived fixture alone is
+     exit-clean. *)
+  let solo = Ec_lint.Lint.run ~checks:[ "DS001" ] [ fixtures_dir ] in
+  let gating =
+    List.filter
+      (fun (f : Ec_lint.Finding.t) ->
+        Filename.basename f.Ec_lint.Finding.file = "waived_ds001.ml")
+      (Ec_lint.Lint.unwaived_errors solo)
+  in
+  Alcotest.(check int) "waived finding does not gate" 0 (List.length gating)
+
+let test_exit_code () =
+  (* The fixture set contains unwaived errors, so the report gates. *)
+  Alcotest.(check int) "fixtures gate with exit 1" 1
+    (Ec_lint.Lint.exit_code (Lazy.force report));
+  Alcotest.(check bool) "scan found the fixture units" true
+    ((Lazy.force report).Ec_lint.Lint.units_scanned >= 6)
+
+let test_check_filter () =
+  let solo = Ec_lint.Lint.run ~checks:[ "ds002" ] [ fixtures_dir ] in
+  Alcotest.(check (list string)) "--check restricts the run" [ "DS002" ]
+    (check_ids solo.Ec_lint.Lint.findings)
+
+let test_warn_downgrade () =
+  let r = Ec_lint.Lint.run ~warn:[ "DS001"; "DS002"; "BP001"; "EX001"; "FP001" ]
+      [ fixtures_dir ]
+  in
+  Alcotest.(check int) "all-warnings report is exit-clean" 0
+    (Ec_lint.Lint.exit_code r);
+  Alcotest.(check bool) "findings still reported as warnings" true
+    (List.exists
+       (fun (f : Ec_lint.Finding.t) ->
+         f.Ec_lint.Finding.severity = Ec_lint.Finding.Warning)
+       r.Ec_lint.Lint.findings)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_json_render () =
+  let r = Lazy.force report in
+  let json = Ec_lint.Lint.render_json r in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("json mentions " ^ id) true
+        (contains json ("\"" ^ id ^ "\"")))
+    [ "DS001"; "DS002"; "BP001"; "EX001"; "FP001" ]
+
+let () =
+  Alcotest.run "eclint"
+    [ ( "fixtures",
+        [ Alcotest.test_case "DS001 bad" `Quick (assert_exactly "bad_ds001.ml" "DS001");
+          Alcotest.test_case "DS002 bad" `Quick (assert_exactly "bad_ds002.ml" "DS002");
+          Alcotest.test_case "BP001 bad" `Quick (assert_exactly "bad_bp001.ml" "BP001");
+          Alcotest.test_case "EX001 bad" `Quick (assert_exactly "bad_ex001.ml" "EX001");
+          Alcotest.test_case "FP001 bad" `Quick (assert_exactly "bad_backend.ml" "FP001");
+          Alcotest.test_case "DS001 waived" `Quick test_waived_fixture ] );
+      ( "driver",
+        [ Alcotest.test_case "exit code" `Quick test_exit_code;
+          Alcotest.test_case "check filter" `Quick test_check_filter;
+          Alcotest.test_case "warn downgrade" `Quick test_warn_downgrade;
+          Alcotest.test_case "json render" `Quick test_json_render ] ) ]
