@@ -14,7 +14,11 @@ dune runtest
 
 # Static analysis: the typedtree lint over every library and binary.
 # Fails on any unwaived finding; the JSON report is kept as a build
-# artifact for the record.
+# artifact for the record.  This gate covers the observability layer
+# (lib/util/trace.ml, lib/util/metrics.ml): their per-domain buffer
+# registries are toplevel mutable state reachable from pool workers
+# (DS001), waived in-source with the lock that guards each one —
+# any new unguarded cell fails the build here.
 echo "== dune build @lint =="
 dune build @lint
 dune exec bin/eclint.exe -- --format=json _build/default/lib _build/default/bin \
@@ -38,6 +42,20 @@ dune exec bin/ecsat.exe -- gen par8-1-c -o "$PORTFOLIO_CNF"
 status=0
 dune exec bin/ecsat.exe -- solve "$PORTFOLIO_CNF" --jobs 4 --verify || status=$?
 [ "$status" -eq 10 ] || { echo "portfolio smoke: expected exit 10, got $status"; exit 1; }
+
+# Observability artifacts: re-run the portfolio smoke with tracing and
+# metrics armed and keep both files as build artifacts, so every CI run
+# leaves a sample Chrome trace and a metrics snapshot to inspect.
+echo "== observability artifacts (--trace/--metrics) =="
+status=0
+dune exec bin/ecsat.exe -- solve "$PORTFOLIO_CNF" --jobs 2 --verify \
+  --trace TRACE_sample.json --metrics METRICS.json || status=$?
+[ "$status" -eq 10 ] || { echo "observability smoke: expected exit 10, got $status"; exit 1; }
+grep -q '"traceEvents"' TRACE_sample.json \
+  || { echo "TRACE_sample.json: not a Chrome trace-event document"; exit 1; }
+grep -q '"counters"' METRICS.json \
+  || { echo "METRICS.json: missing counters section"; exit 1; }
+echo "observability artifacts: TRACE_sample.json METRICS.json"
 
 # Portfolio chaos: one racer is killed mid-solve; the race must still
 # produce the certified answer on the surviving domain.

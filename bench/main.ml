@@ -11,7 +11,10 @@
      dune exec bench/main.exe -- --skip-micro --skip-ablations
      dune exec bench/main.exe -- --table 2 --jobs 4
          # portfolio mode: time the table at jobs=1 vs jobs=4, race the
-         # engine portfolio over the suite, write BENCH_portfolio.json *)
+         # engine portfolio over the suite, write BENCH_portfolio.json
+     dune exec bench/main.exe -- --trace TRACE.json --metrics METRICS.json
+         # record solver spans (Chrome trace-event JSON) and a metrics
+         # snapshot alongside whatever else the run does *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -27,13 +30,26 @@ type args = {
   mutable skip_ablations : bool;
   mutable skip_tables : bool;
   mutable jobs : int;
+  mutable trace : string option;
+  mutable metrics : string option;
 }
+
+(* Same convention as ecsat's --trace/--metrics validation: a sink
+   that cannot be written is a usage error caught before any solving,
+   diagnostic on stderr, exit 2. *)
+let check_sink flag = function
+  | None -> ()
+  | Some path ->
+    (try close_out (open_out path)
+     with Sys_error msg ->
+       Printf.eprintf "bench: %s expects a writable path: %s\n" flag msg;
+       exit 2)
 
 let parse_args () =
   let a =
     { table = None; scale = Ec_harness.Protocol.default_config.scale; trials = 5;
       paper = false; skip_micro = false; skip_ablations = false; skip_tables = false;
-      jobs = 1 }
+      jobs = 1; trace = None; metrics = None }
   in
   let rec go = function
     | [] -> ()
@@ -48,6 +64,12 @@ let parse_args () =
       go rest
     | "--jobs" :: n :: rest | "-j" :: n :: rest ->
       a.jobs <- max 1 (int_of_string n);
+      go rest
+    | "--trace" :: path :: rest ->
+      a.trace <- Some path;
+      go rest
+    | "--metrics" :: path :: rest ->
+      a.metrics <- Some path;
       go rest
     | "--paper" :: rest ->
       a.paper <- true;
@@ -66,6 +88,8 @@ let parse_args () =
       exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
+  check_sink "--trace" a.trace;
+  check_sink "--metrics" a.metrics;
   a
 
 let config_of args =
@@ -515,6 +539,8 @@ let run_ablations args =
 let () =
   let args = parse_args () in
   let config = config_of args in
+  if args.trace <> None then Ec_util.Trace.enable ();
+  if args.metrics <> None then Ec_util.Metrics.enable ();
   Printf.printf
     "ILP-based engineering change — bench harness (scale %.2f, %d trials%s)\n"
     config.Ec_harness.Protocol.scale config.trials
@@ -524,4 +550,14 @@ let () =
     if not args.skip_tables then run_tables args config;
     if not args.skip_micro then run_micro ();
     if not args.skip_ablations then run_ablations args
-  end
+  end;
+  (match args.trace with
+  | Some path ->
+    Ec_util.Trace.write_chrome path;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  match args.metrics with
+  | Some path ->
+    Ec_util.Metrics.write path;
+    Printf.printf "wrote %s\n" path
+  | None -> ()

@@ -84,6 +84,47 @@ let check_jobs jobs =
     exit 2
   end
 
+(* ---- observability (--trace / --metrics) ---- *)
+
+let trace_arg =
+  let doc =
+    "Record solver spans and write them as Chrome trace-event JSON to $(docv) \
+     (load in $(b,chrome://tracing) or $(b,ui.perfetto.dev); one track per \
+     domain).  Recording costs one atomic load per site when absent."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Record solver metrics (counters, gauges, histograms) and write a JSON \
+     snapshot to $(docv) at exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* An observability sink is validated before any solving, the same
+   convention as [check_jobs]: a run that cannot deliver its artifacts
+   must fail in milliseconds with exit 2, not raise after the solve. *)
+let check_sink flag = function
+  | None -> ()
+  | Some path ->
+    (try close_out (open_out path)
+     with Sys_error msg ->
+       Printf.eprintf "ecsat: %s expects a writable path: %s\n" flag msg;
+       exit 2)
+
+(* Arm the requested recorders around [run], then flush each sink.
+   The exit code of [run] passes through untouched — observability
+   must never change what the user's scripts see. *)
+let with_observability ~trace ~metrics run =
+  check_sink "--trace" trace;
+  check_sink "--metrics" metrics;
+  if trace <> None then Ec_util.Trace.enable ();
+  if metrics <> None then Ec_util.Metrics.enable ();
+  let code = run () in
+  Option.iter Ec_util.Trace.write_chrome trace;
+  Option.iter Ec_util.Metrics.write metrics;
+  code
+
 let load file = Ec_cnf.Dimacs.parse_file file
 
 let verify_arg =
@@ -142,8 +183,9 @@ let report_solution ?verify f = function
 (* ---- solve ---- *)
 
 let solve_cmd =
-  let run file backend timeout conflicts verify jobs =
+  let run file backend timeout conflicts verify jobs trace metrics =
     check_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
     let f = load file in
     if jobs > 1 then begin
       let racers = Ec_core.Backend.default_portfolio ~prefer:backend ~jobs () in
@@ -178,7 +220,7 @@ let solve_cmd =
   let doc = "solve a DIMACS CNF instance" in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(const run $ cnf_file $ backend $ timeout_arg $ conflicts_arg $ verify_arg
-          $ jobs_arg)
+          $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* ---- enable ---- *)
 
@@ -234,8 +276,9 @@ let with_initial file backend k =
   | Some init -> k f init
 
 let fast_cmd =
-  let run file backend add eliminate timeout conflicts verify jobs =
+  let run file backend add eliminate timeout conflicts verify jobs trace metrics =
     check_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
         let r =
@@ -255,7 +298,7 @@ let fast_cmd =
   let doc = "apply changes and re-solve with fast EC (paper \xc2\xa76, Figure 2)" in
   Cmd.v (Cmd.info "fast" ~doc)
     Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ timeout_arg
-          $ conflicts_arg $ verify_arg $ jobs_arg)
+          $ conflicts_arg $ verify_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let preserve_cmd =
   let run file backend add eliminate use_sat timeout conflicts verify =
@@ -364,8 +407,9 @@ let gen_cmd =
 (* ---- tables ---- *)
 
 let tables_cmd =
-  let run table scale trials no_large paper jobs =
+  let run table scale trials no_large paper jobs trace metrics =
     check_jobs jobs;
+    with_observability ~trace ~metrics @@ fun () ->
     let config =
       if paper then { Ec_harness.Protocol.paper_config with jobs }
       else
@@ -383,6 +427,20 @@ let tables_cmd =
       | n -> Printf.eprintf "no table %d (1..3)\n" n
     in
     (match table with Some n -> run_one n | None -> List.iter run_one [ 1; 2; 3 ]);
+    if trace <> None then begin
+      (* Per-instance wall-clock rollup from the buffered spans — the
+         traced run's summary of where the tables actually spent their
+         time, one row per stage/instance. *)
+      match Ec_harness.Protocol.instance_rollup () with
+      | [] -> ()
+      | rows ->
+        print_endline "c span rollup (stage/instance  spans  total_s):";
+        List.iter
+          (fun (r : Ec_util.Trace.rollup_row) ->
+            Printf.printf "c   %-32s %5d %10.4f\n" r.roll_name r.roll_count
+              (r.roll_total_us /. 1e6))
+          rows
+    end;
     0
   in
   let table =
@@ -407,7 +465,8 @@ let tables_cmd =
   in
   let doc = "regenerate the paper's result tables" in
   Cmd.v (Cmd.info "tables" ~doc)
-    Term.(const run $ table $ scale $ trials $ no_large $ paper $ jobs_arg)
+    Term.(const run $ table $ scale $ trials $ no_large $ paper $ jobs_arg $ trace_arg
+          $ metrics_arg)
 
 let () =
   (* Fault-injection hook: ECSAT_FAULTS="seed=7;cdcl.answer=corrupt;..."

@@ -48,6 +48,29 @@ type model_response = {
   engine : string;
 }
 
+(* --- observability ----------------------------------------------- *)
+
+(* Per-engine spend, recorded once per engine-level solve from the
+   same [Budget.counters] record the response carries — so a metrics
+   snapshot's per-engine sums reconcile exactly with the summed
+   counters a chain or portfolio response reports.  "decisions" is
+   [spent_nodes] (CDCL decisions / B&B nodes / DPLL branches). *)
+let observe_response ~engine (c : Ec_util.Budget.counters) =
+  if Ec_util.Metrics.enabled () then begin
+    let m suffix = Ec_util.Metrics.counter ("solve." ^ engine ^ "." ^ suffix) in
+    Ec_util.Metrics.incr (m "calls");
+    Ec_util.Metrics.add (m "conflicts") c.Ec_util.Budget.spent_conflicts;
+    Ec_util.Metrics.add (m "decisions") c.Ec_util.Budget.spent_nodes;
+    Ec_util.Metrics.add (m "pivots") c.Ec_util.Budget.spent_pivots;
+    Ec_util.Metrics.add (m "restarts") c.Ec_util.Budget.spent_restarts;
+    Ec_util.Metrics.add (m "iterations") c.Ec_util.Budget.spent_iterations
+  end
+
+let span_counter_args (c : Ec_util.Budget.counters) =
+  [ ("conflicts", string_of_int c.Ec_util.Budget.spent_conflicts);
+    ("decisions", string_of_int c.Ec_util.Budget.spent_nodes);
+    ("wall_s", Printf.sprintf "%.6f" c.Ec_util.Budget.spent_wall_s) ]
+
 let maybe_recover recover_dc formula outcome =
   match outcome with
   | Ec_sat.Outcome.Sat a when recover_dc ->
@@ -96,11 +119,17 @@ let guarded ~attempt ~on_failure t =
   in
   go 0 t
 
+let outcome_tag = function
+  | Ec_sat.Outcome.Sat _ -> "sat"
+  | Ec_sat.Outcome.Unsat -> "unsat"
+  | Ec_sat.Outcome.Unknown _ -> "unknown"
+
 let solve_response ?(recover_dc = true) ?budget t formula =
   let t = match budget with None -> t | Some b -> with_budget t b in
   let respond outcome reason counters =
     { outcome; reason; counters; engine = name t }
   in
+  let run () =
   if Ec_cnf.Formula.has_empty_clause formula then
     respond Ec_sat.Outcome.Unsat Ec_util.Budget.Completed Ec_util.Budget.zero
   else begin
@@ -153,12 +182,25 @@ let solve_response ?(recover_dc = true) ?budget t formula =
       when Ec_sat.Outcome.is_sat outcome -> respond (Ec_sat.Outcome.Unknown r) r counters
     | certified -> respond certified reason counters
   end
+  in
+  let r =
+    Ec_util.Trace.span ~cat:"solve"
+      ~args:[ ("engine", name t) ]
+      ~result_args:(fun (r : response) ->
+        ("outcome", outcome_tag r.outcome)
+        :: ("reason", Ec_util.Budget.reason_to_string r.reason)
+        :: span_counter_args r.counters)
+      "backend.solve" run
+  in
+  observe_response ~engine:r.engine r.counters;
+  r
 
 let solve ?recover_dc ?budget t formula =
   (solve_response ?recover_dc ?budget t formula).outcome
 
 let solve_model_response ?budget t model =
   let t = match budget with None -> t | Some b -> with_budget t b in
+  let run () =
   let of_bnb (r : Ec_ilpsolver.Bnb.response) =
     { solution = r.Ec_ilpsolver.Bnb.solution;
       reason = r.Ec_ilpsolver.Bnb.reason;
@@ -219,6 +261,17 @@ let solve_model_response ?budget t model =
   | Error detail ->
     let reason = Ec_util.Budget.Engine_failure (r.engine, detail) in
     { r with solution = Ec_ilp.Solution.unknown; reason }
+  in
+  let r =
+    Ec_util.Trace.span ~cat:"solve"
+      ~args:[ ("engine", name t) ]
+      ~result_args:(fun (r : model_response) ->
+        ("reason", Ec_util.Budget.reason_to_string r.reason)
+        :: span_counter_args r.counters)
+      "backend.solve_model" run
+  in
+  observe_response ~engine:r.engine r.counters;
+  r
 
 let solve_model ?budget t model = (solve_model_response ?budget t model).solution
 
@@ -229,18 +282,23 @@ let default_chain = [ ilp_exact; ilp_heuristic; cdcl ]
 let solve_chain_sequential ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint stages
     formula =
   let stages = if stages = [] then [ cdcl ] else stages in
-  let rec go remaining spent = function
+  let rec go idx remaining spent = function
     | [] -> assert false
     | stage :: rest ->
       let stage =
         match hint with None -> stage | Some h -> with_phase_hint stage h
       in
-      let r = solve_response ?recover_dc ~budget:remaining stage formula in
-      (* Cross-examine a claimed UNSAT against the warm-start witness:
-         a hint that still satisfies the formula is positive proof the
-         verdict is wrong (forged or buggy), so the stage is treated as
-         failed and the chain keeps going. *)
       let r =
+        Ec_util.Trace.span ~cat:"solve"
+          ~args:[ ("stage", string_of_int idx); ("engine", name stage) ]
+          ~result_args:(fun (r : response) -> [ ("outcome", outcome_tag r.outcome) ])
+          "chain.stage"
+        @@ fun () ->
+        let r = solve_response ?recover_dc ~budget:remaining stage formula in
+        (* Cross-examine a claimed UNSAT against the warm-start witness:
+           a hint that still satisfies the formula is positive proof the
+           verdict is wrong (forged or buggy), so the stage is treated as
+           failed and the chain keeps going. *)
         match (r.outcome, hint) with
         | Ec_sat.Outcome.Unsat, Some w
           when Certify.refutes_unsat formula ~witness:w ->
@@ -264,9 +322,9 @@ let solve_chain_sequential ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hin
           || reason = Ec_util.Budget.Deadline
           || reason = Ec_util.Budget.Cancelled
         then finish ()
-        else go (Ec_util.Budget.consume remaining r.counters) spent rest)
+        else go (idx + 1) (Ec_util.Budget.consume remaining r.counters) spent rest)
   in
-  go budget Ec_util.Budget.zero stages
+  go 0 budget Ec_util.Budget.zero stages
 
 (* --- parallel portfolio ----------------------------------------------- *)
 
@@ -294,7 +352,9 @@ let record_win engine =
   Mutex.lock wins_lock;
   Hashtbl.replace win_counts engine
     (1 + Option.value ~default:0 (Hashtbl.find_opt win_counts engine));
-  Mutex.unlock wins_lock
+  Mutex.unlock wins_lock;
+  if Ec_util.Metrics.enabled () then
+    Ec_util.Metrics.incr (Ec_util.Metrics.counter ("portfolio.wins." ^ engine))
 
 let wins () =
   Mutex.lock wins_lock;
@@ -355,7 +415,12 @@ let solve_portfolio ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint racer
     | Ec_sat.Outcome.Sat _ | Ec_sat.Outcome.Unsat -> true
     | Ec_sat.Outcome.Unknown _ -> false
   in
-  let run_racer stage () =
+  let run_racer i stage () =
+    Ec_util.Trace.span ~cat:"portfolio"
+      ~args:[ ("racer", string_of_int i); ("engine", name stage) ]
+      ~result_args:(fun (r : response) -> [ ("outcome", outcome_tag r.outcome) ])
+      "portfolio.racer"
+    @@ fun () ->
     Ec_util.Fault.maybe_delay "portfolio.domain";
     Ec_util.Fault.maybe_raise "portfolio.racer";
     let stage = match hint with None -> stage | Some h -> with_phase_hint stage h in
@@ -372,10 +437,14 @@ let solve_portfolio ?recover_dc ?(budget = Ec_util.Budget.unlimited) ?hint racer
     | _ -> r
   in
   let race =
+    Ec_util.Trace.span ~cat:"portfolio"
+      ~args:[ ("racers", string_of_int (List.length racers)) ]
+      "portfolio.race"
+    @@ fun () ->
     Ec_util.Pool.with_pool (List.length racers) (fun pool ->
         Ec_util.Pool.race pool ~accept:decisive
           ~on_winner:(fun _ -> Ec_util.Budget.cancel shared)
-          (List.map run_racer racers))
+          (List.mapi run_racer racers))
   in
   let reports =
     List.mapi

@@ -36,6 +36,16 @@ val cdcl : t
 val dpll : t
 
 val name : t -> string
+(** Short engine identifier ("cdcl", "dpll", "ilp-bnb",
+    "ilp-heuristic") — used in responses, traces and metric names. *)
+
+val observe_response : engine:string -> Ec_util.Budget.counters -> unit
+(** Record a solve's spend under the ["solve.<engine>.*"] metric
+    counters (conflicts, decisions, pivots, restarts, iterations, plus
+    a ["calls"] count) — a no-op unless {!Ec_util.Metrics} is enabled.
+    Called internally by every [solve_*] entry point; exposed for
+    callers that drive engines outside this module's containment
+    (e.g. {!Flow}'s preserving strategy). *)
 
 val with_phase_hint : t -> Ec_cnf.Assignment.t -> t
 (** For backends with a warm-start notion (CDCL phase saving), seed it

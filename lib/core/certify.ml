@@ -1,4 +1,24 @@
+(* Observability: each certification pass is a span under --trace and
+   a sample of the shared latency histogram under --metrics, so a
+   profile shows how much of a solve goes to re-validation.  The
+   histogram is fed only by the leaf checks (never by wrappers like
+   [outcome]) so its sum is not double-counted. *)
+let latency = Ec_util.Metrics.histogram "certify.latency_s"
+
+let failures = Ec_util.Metrics.counter "certify.failures"
+
+let timed name f =
+  if not (Ec_util.Trace.enabled () || Ec_util.Metrics.enabled ()) then f ()
+  else
+    Ec_util.Trace.span ~cat:"certify" name (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        Ec_util.Metrics.observe latency (Unix.gettimeofday () -. t0);
+        (match r with Error _ -> Ec_util.Metrics.incr failures | Ok () -> ());
+        r)
+
 let check_model f a =
+  timed "certify.check_model" @@ fun () ->
   let n = Ec_cnf.Formula.num_vars f in
   if Ec_cnf.Assignment.num_vars a < n then
     Error
@@ -12,6 +32,7 @@ let check_model f a =
            (Ec_cnf.Clause.to_string (Ec_cnf.Formula.clause f i)))
 
 let check_solution ?(eps = 1e-6) model (s : Ec_ilp.Solution.t) =
+  timed "certify.check_solution" @@ fun () ->
   match s.Ec_ilp.Solution.status with
   | Ec_ilp.Solution.Infeasible | Ec_ilp.Solution.Unbounded | Ec_ilp.Solution.Unknown ->
     Ok ()

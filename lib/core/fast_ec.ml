@@ -5,7 +5,22 @@ type simplified = {
   already_satisfied : bool;
 }
 
+(* Cone-size distributions under --metrics: Table 2's "Ave. # Vars" /
+   "Ave. # Clauses" as histograms, one sample per extraction. *)
+let cone_vars = Ec_util.Metrics.histogram "fast_ec.cone_vars"
+
+let cone_clauses = Ec_util.Metrics.histogram "fast_ec.cone_clauses"
+
+let already_satisfied_count = Ec_util.Metrics.counter "fast_ec.already_satisfied"
+
 let simplify f p =
+  Ec_util.Trace.span ~cat:"fast_ec"
+    ~result_args:(fun s ->
+      [ ("cone_vars", string_of_int (List.length s.vars));
+        ("cone_clauses", string_of_int (List.length s.marked));
+        ("already_satisfied", string_of_bool s.already_satisfied) ])
+    "fast_ec.simplify"
+  @@ fun () ->
   let unsat = Ec_cnf.Assignment.unsatisfied_clauses p f in
   if unsat = [] then
     { sub_formula = Ec_cnf.Formula.create ~num_vars:(Ec_cnf.Formula.num_vars f) [];
@@ -79,7 +94,20 @@ type result = {
 }
 
 let resolve ?(backend = Backend.cdcl) ?budget f p =
+  Ec_util.Trace.span ~cat:"fast_ec"
+    ~result_args:(fun r ->
+      [ ("solved", string_of_bool (r.solution <> None));
+        ("reason", Ec_util.Budget.reason_to_string r.reason) ])
+    "fast_ec.resolve"
+  @@ fun () ->
   let s = simplify f p in
+  if Ec_util.Metrics.enabled () then begin
+    if s.already_satisfied then Ec_util.Metrics.incr already_satisfied_count
+    else begin
+      Ec_util.Metrics.observe cone_vars (float_of_int (List.length s.vars));
+      Ec_util.Metrics.observe cone_clauses (float_of_int (List.length s.marked))
+    end
+  end;
   if s.already_satisfied then
     { simplified = s;
       solution = Some p;
@@ -88,10 +116,15 @@ let resolve ?(backend = Backend.cdcl) ?budget f p =
       reason = Ec_util.Budget.Completed;
       counters = Ec_util.Budget.zero }
   else begin
-    let r = Backend.solve_response ?budget backend s.sub_formula in
+    let r =
+      Ec_util.Trace.span ~cat:"fast_ec" "fast_ec.solve" (fun () ->
+          Backend.solve_response ?budget backend s.sub_formula)
+    in
     let solution, reason =
       match r.Backend.outcome with
       | Ec_sat.Outcome.Sat sub -> (
+        Ec_util.Trace.span ~cat:"fast_ec" "fast_ec.merge"
+        @@ fun () ->
         let p = Ec_cnf.Assignment.extend p (Ec_cnf.Formula.num_vars f) in
         let merged = Ec_cnf.Assignment.merge_on ~vars:s.vars ~base:p ~overlay:sub in
         (* Merge certification: the cone construction guarantees the

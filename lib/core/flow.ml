@@ -41,6 +41,15 @@ type resolve_strategy =
   | Preserve of Preserving.engine
   | Full
 
+(* How often the incomplete fast path had to hand over to a full
+   re-solve (unsatisfiable cone, exhausted budget, failed merge). *)
+let fast_fallbacks = Ec_util.Metrics.counter "flow.fast_fallback"
+
+let strategy_tag = function
+  | Fast -> "fast"
+  | Preserve _ -> "preserve"
+  | Full -> "full"
+
 type updated = {
   new_formula : Ec_cnf.Formula.t;
   new_assignment : Ec_cnf.Assignment.t;
@@ -197,15 +206,18 @@ let apply_change_response ?(strategy = Fast) ?(solver = Backend.cdcl)
            re-solve under whatever budget is left.  On an exhausted
            budget the full solve trips at its first check, so the
            fallback costs at most one tick. *)
+        Ec_util.Metrics.incr fast_fallbacks;
         let remaining = Ec_util.Budget.consume budget r.Fast_ec.counters in
         let outcome, reason, full_counters = full_resolve remaining in
         (outcome, reason, Ec_util.Budget.add r.Fast_ec.counters full_counters))
     | Preserve engine -> (
       (* The preserving engines drive CDCL / branch & bound directly
          (not through Backend's containment), so the exception wall is
-         here. *)
+         here — and so is the per-engine metrics recording the
+         Backend entry points would otherwise do. *)
       match Preserving.resolve ~engine ~budget new_formula ~reference with
       | r -> (
+        Backend.observe_response ~engine:"preserving" r.Preserving.counters;
         match r.Preserving.solution with
         | Some a -> (Some (a, None), r.Preserving.reason, r.Preserving.counters)
         | None -> (None, r.Preserving.reason, r.Preserving.counters))
@@ -214,7 +226,16 @@ let apply_change_response ?(strategy = Fast) ?(solver = Backend.cdcl)
           Ec_util.Budget.Engine_failure ("preserving", Printexc.to_string exn),
           Ec_util.Budget.zero ))
   in
-  let (result, reason, counters), elapsed = Ec_util.Stopwatch.time run in
+  let (result, reason, counters), elapsed =
+    Ec_util.Stopwatch.time (fun () ->
+        Ec_util.Trace.span ~cat:"flow"
+          ~args:
+            [ ("strategy", strategy_tag strategy); ("jobs", string_of_int jobs) ]
+          ~result_args:(fun (result, reason, _) ->
+            [ ("solved", string_of_bool (result <> None));
+              ("reason", Ec_util.Budget.reason_to_string reason) ])
+          "flow.apply_change" run)
+  in
   (* Certification wall: no assignment leaves the flow unchecked.  Each
      strategy already certifies internally; this final clause-by-clause
      pass (O(formula)) also covers the merge bookkeeping above it. *)

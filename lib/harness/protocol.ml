@@ -61,6 +61,28 @@ let map_instances config f xs =
    parallel run is reproducible regardless of completion order. *)
 let instance_seed config idx = config.seed lxor (0x9E3779B9 * (idx + 1))
 
+(* --- observability ------------------------------------------------ *)
+
+(* Every table wraps each instance's whole workload (initial solve,
+   change trials, re-solves) in one of these spans; the rollup groups
+   them by the "instance" argument, which is how `ecsat tables
+   --trace` reports per-instance totals. *)
+let with_instance_span ~instance ~stage f =
+  Ec_util.Trace.span ~cat:"table"
+    ~args:[ ("instance", instance); ("stage", stage) ]
+    "table.instance" f
+
+let instance_rollup () =
+  Ec_util.Trace.rollup
+    ~key:(fun ev ->
+      if ev.Ec_util.Trace.ev_name = "table.instance" then
+        match (Ec_util.Trace.arg ev "instance", Ec_util.Trace.arg ev "stage") with
+        | Some i, Some s -> Some (s ^ "/" ^ i)
+        | Some i, None -> Some i
+        | None, _ -> None
+      else None)
+    ()
+
 type timed_solve = {
   assignment : Ec_cnf.Assignment.t;
   time_s : float;
@@ -78,6 +100,10 @@ let decode_timed formula enc solve =
   | None -> None
 
 let initial_solve config (inst : Ec_instances.Registry.instance) =
+  Ec_util.Trace.span ~cat:"table"
+    ~args:[ ("instance", inst.spec.name) ]
+    "protocol.initial_solve"
+  @@ fun () ->
   let enc = Ec_core.Encode.of_formula inst.formula in
   if config.enabled_initial then
     ignore (Ec_core.Enabling.add Ec_core.Enabling.Constraints enc);
@@ -105,6 +131,8 @@ let initial_solve config (inst : Ec_instances.Registry.instance) =
   result
 
 let exact_resolve config formula =
+  Ec_util.Trace.span ~cat:"table" "protocol.exact_resolve"
+  @@ fun () ->
   let enc = Ec_core.Encode.of_formula formula in
   let model = Ec_core.Encode.model enc in
   (* Decision mode, like the initial solves: the re-solve question is

@@ -60,6 +60,18 @@ val instance_seed : config -> int -> int
 (** Deterministic RNG seed for the instance at the given position in a
     parallel table run; independent of completion order. *)
 
+val with_instance_span : instance:string -> stage:string -> (unit -> 'a) -> 'a
+(** Wrap one instance's whole table workload in a ["table.instance"]
+    trace span annotated with the instance name and the table stage
+    (["table1"], ["table2"], ["table3"]) — a no-op unless
+    {!Ec_util.Trace} is enabled.  Tables 1–3 call this around every
+    row so traced runs can be rolled up per instance. *)
+
+val instance_rollup : unit -> Ec_util.Trace.rollup_row list
+(** Per-instance span rollup over the buffered trace: one row per
+    [stage/instance] pair with its occurrence count and total
+    duration.  [ecsat tables --trace] prints this after the tables. *)
+
 type timed_solve = {
   assignment : Ec_cnf.Assignment.t;
   time_s : float;

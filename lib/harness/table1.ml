@@ -106,8 +106,12 @@ let run ?(progress = fun _ -> ()) config =
     Protocol.map_instances config
       (fun inst ->
         progress ("table1: " ^ inst.Ec_instances.Registry.spec.name);
-        if Protocol.is_heuristic_tier inst then (inst, `Heuristic (run_heuristic config inst))
-        else (inst, `Exact (run_exact config inst)))
+        Protocol.with_instance_span
+          ~instance:inst.Ec_instances.Registry.spec.name ~stage:"table1"
+          (fun () ->
+            if Protocol.is_heuristic_tier inst then
+              (inst, `Heuristic (run_heuristic config inst))
+            else (inst, `Exact (run_exact config inst))))
       instances
   in
   { exact_rows =

@@ -65,7 +65,10 @@ let run ?(progress = fun _ -> ()) config =
       List.map
         (fun inst ->
           progress ("table2: " ^ inst.Ec_instances.Registry.spec.name);
-          (inst, run_instance config rng inst))
+          ( inst,
+            Protocol.with_instance_span
+              ~instance:inst.Ec_instances.Registry.spec.name ~stage:"table2"
+              (fun () -> run_instance config rng inst) ))
         instances
     else
       (* Parallel path: each instance draws its change scripts from its
@@ -75,7 +78,10 @@ let run ?(progress = fun _ -> ()) config =
         (fun (idx, inst) ->
           progress ("table2: " ^ inst.Ec_instances.Registry.spec.name);
           let rng = Ec_util.Rng.create (Protocol.instance_seed config idx) in
-          (inst, run_instance config rng inst))
+          ( inst,
+            Protocol.with_instance_span
+              ~instance:inst.Ec_instances.Registry.spec.name ~stage:"table2"
+              (fun () -> run_instance config rng inst) ))
         (List.mapi (fun i inst -> (i, inst)) instances)
   in
   let exact_rows = ref [] and heuristic_rows = ref [] in

@@ -84,14 +84,18 @@ let run ?(progress = fun _ -> ()) config =
       List.filter_map
         (fun inst ->
           progress ("table3: " ^ inst.Ec_instances.Registry.spec.name);
-          run_instance config rng inst)
+          Protocol.with_instance_span
+            ~instance:inst.Ec_instances.Registry.spec.name ~stage:"table3"
+            (fun () -> run_instance config rng inst))
         instances
     else
       Protocol.map_instances config
         (fun (idx, inst) ->
           progress ("table3: " ^ inst.Ec_instances.Registry.spec.name);
           let rng = Ec_util.Rng.create (Protocol.instance_seed config idx + 3) in
-          run_instance config rng inst)
+          Protocol.with_instance_span
+            ~instance:inst.Ec_instances.Registry.spec.name ~stage:"table3"
+            (fun () -> run_instance config rng inst))
         (List.mapi (fun i inst -> (i, inst)) instances)
       |> List.filter_map Fun.id
   in

@@ -5,6 +5,7 @@
 type severity = Error | Warning
 
 val severity_to_string : severity -> string
+(** ["error"] / ["warning"], as rendered in both report formats. *)
 
 type t = {
   check : string;        (** check identifier, e.g. ["DS001"] *)
@@ -25,6 +26,9 @@ val make :
     [loc]'s start position. *)
 
 val waive : reason:string -> t -> t
+(** Mark the finding waived, carrying the waiver comment's rationale
+    into the report.  A waived finding is still rendered but no longer
+    gates the exit code ({!Lint.unwaived_errors}). *)
 
 val compare : t -> t -> int
 (** Order by file, line, column, then check id — the report order. *)

@@ -23,8 +23,15 @@ val unwaived_errors : report -> Finding.t list
 (** The findings that gate: unwaived and of severity [Error]. *)
 
 val render_human : report -> string
+(** The terminal report: one {!Finding.to_human} line per finding
+    (waived ones marked) followed by a one-line scan summary — what
+    [eclint] prints by default. *)
 
 val render_json : report -> string
+(** The machine-readable report ([eclint --format=json], archived as
+    [LINT.json] by CI): a JSON document with a [findings] array (one
+    {!Finding.to_json} object each, waiver rationales included) and a
+    [summary] object with the scan counts. *)
 
 val exit_code : report -> int
 (** 0 clean (waived findings allowed), 1 when {!unwaived_errors} is

@@ -244,6 +244,16 @@ let grow_state st extra_clauses =
   st
 
 let simplify ?(max_occurrences = 10) formula =
+  Ec_util.Trace.span ~cat:"preprocess"
+    ~args:[ ("clauses", string_of_int (Ec_cnf.Formula.num_clauses formula)) ]
+    ~result_args:(function
+      | `Unsat -> [ ("result", "unsat") ]
+      | `Simplified (r : result) ->
+        [ ("result", "simplified");
+          ("clauses_removed", string_of_int r.clauses_removed);
+          ("literals_removed", string_of_int r.literals_removed) ])
+    "preprocess.simplify"
+  @@ fun () ->
   let nvars = Ec_cnf.Formula.num_vars formula in
   let clause_list =
     Ec_cnf.Formula.fold
@@ -277,10 +287,13 @@ let simplify ?(max_occurrences = 10) formula =
     let rec fixpoint rounds =
       if rounds = 0 then ()
       else begin
-        let p1 = propagate_units !st in
-        let p2 = pure_literals !st in
-        let p3 = subsume !st in
-        let appended = eliminate !st ~max_occurrences in
+        let pass name f = Ec_util.Trace.span ~cat:"preprocess" name f in
+        let p1 = pass "preprocess.units" (fun () -> propagate_units !st) in
+        let p2 = pass "preprocess.pure" (fun () -> pure_literals !st) in
+        let p3 = pass "preprocess.subsume" (fun () -> subsume !st) in
+        let appended =
+          pass "preprocess.eliminate" (fun () -> eliminate !st ~max_occurrences)
+        in
         if appended <> [] then st := grow_state !st appended;
         if p1 || p2 || p3 || appended <> [] || !st.units <> [] then fixpoint (rounds - 1)
       end

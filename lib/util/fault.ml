@@ -47,6 +47,10 @@ let seed = Atomic.make default_seed
 
 let fire_count = Atomic.make 0
 
+(* Observability twin of [fire_count]: chaos runs under --metrics can
+   report how many injected faults the stack absorbed. *)
+let fired_metric = Metrics.counter "fault.fired"
+
 let arm ?(times = -1) site action =
   Mutex.lock lock;
   Hashtbl.replace table site { action; remaining = times };
@@ -81,6 +85,7 @@ let take site accepts =
         else begin
           if st.remaining > 0 then st.remaining <- st.remaining - 1;
           Atomic.incr fire_count;
+          Metrics.incr fired_metric;
           Some st.action
         end
     in

@@ -45,6 +45,9 @@ exception Injected of string
     engine exception) into [Unknown (Engine_failure _)]. *)
 
 val action_to_string : action -> string
+(** The plan-syntax spelling of an action (["corrupt"],
+    ["forge-unsat"], ["raise"], ["burn"], ["delay"]) — the inverse of
+    {!action_of_string}, used when reports echo an installed plan. *)
 
 val action_of_string : string -> action option
 (** ["corrupt"], ["forge-unsat"], ["raise"], ["burn"], ["delay"]. *)

@@ -1,0 +1,228 @@
+(* Metrics registry: counters, gauges and fixed log-bucket histograms.
+
+   Same discipline as Trace: recording is off by default and every
+   instrumented site pays one [Atomic.get] and a branch while
+   disabled.  When enabled, updates are lock-free — counters and
+   histogram buckets are [int Atomic.t] cells, gauges and histogram
+   sums are CAS loops over a [float Atomic.t] — so engines racing on
+   separate domains can record without contention.  The registry
+   itself (name -> metric) is behind a mutex, but instrumented modules
+   look their handles up once at module initialization, or at
+   most once per solve, never per unit of work. *)
+
+let armed = Atomic.make false
+
+let enabled () = Atomic.get armed
+
+let enable () = Atomic.set armed true
+
+let disable () = Atomic.set armed false
+
+let rec atomic_add_float cell x =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. x)) then atomic_add_float cell x
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+
+type gauge = { g_name : string; g_cell : float Atomic.t }
+
+(* Histogram buckets are log-scale with fixed bounds shared by every
+   histogram: bucket [i] has upper bound [2.0 ** (i - bucket_shift)],
+   i.e. ~6e-8 .. ~5.5e11 over 64 buckets — wide enough for both
+   latencies in seconds and cone sizes in clauses.  The last bucket
+   absorbs any overflow. *)
+let bucket_count = 64
+
+let bucket_shift = 24
+
+let bucket_le i =
+  if i = bucket_count - 1 then infinity else 2.0 ** float_of_int (i - bucket_shift)
+
+let bucket_index v =
+  if v <= bucket_le 0 then 0
+  else
+    let i = bucket_shift + int_of_float (Float.ceil (Float.log2 v)) in
+    if i < 0 then 0 else if i >= bucket_count then bucket_count - 1 else i
+
+type histogram = {
+  h_name : string;
+  h_buckets : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry_lock = Mutex.create ()
+
+(* eclint: allow DS001 — guarded by [registry_lock]: every access goes
+   through [intern]/[snapshot]/[reset], all of which take the lock *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let intern name make match_existing =
+  Mutex.lock registry_lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some existing -> (
+      match match_existing existing with
+      | Some v -> v
+      | None ->
+        Mutex.unlock registry_lock;
+        invalid_arg
+          (Printf.sprintf "Metrics: %S is already registered with another type" name))
+    | None ->
+      let v = make () in
+      v
+  in
+  Mutex.unlock registry_lock;
+  m
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = { c_name = name; c_cell = Atomic.make 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c)
+    (function Counter c -> Some c | Gauge _ | Histogram _ -> None)
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = { g_name = name; g_cell = Atomic.make 0.0 } in
+      Hashtbl.replace registry name (Gauge g);
+      g)
+    (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
+
+let histogram name =
+  intern name
+    (fun () ->
+      let h =
+        { h_name = name;
+          h_buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0.0 }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h)
+    (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+
+let add c n = if Atomic.get armed && n <> 0 then ignore (Atomic.fetch_and_add c.c_cell n)
+
+let incr c = add c 1
+
+let counter_value c = Atomic.get c.c_cell
+
+let set g v = if Atomic.get armed then Atomic.set g.g_cell v
+
+let gauge_value g = Atomic.get g.g_cell
+
+let observe h v =
+  if Atomic.get armed then begin
+    ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index v) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    atomic_add_float h.h_sum v
+  end
+
+(* --- snapshots ---------------------------------------------------- *)
+
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float * int) list; (* (le, count), non-empty buckets only *)
+}
+
+type item =
+  | Counter_item of string * int
+  | Gauge_item of string * float
+  | Histogram_item of string * histogram_snapshot
+
+let item_name = function
+  | Counter_item (n, _) | Gauge_item (n, _) | Histogram_item (n, _) -> n
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let items =
+    Hashtbl.fold
+      (fun _ m acc ->
+        let item =
+          match m with
+          | Counter c -> Counter_item (c.c_name, Atomic.get c.c_cell)
+          | Gauge g -> Gauge_item (g.g_name, Atomic.get g.g_cell)
+          | Histogram h ->
+            let buckets = ref [] in
+            for i = bucket_count - 1 downto 0 do
+              let n = Atomic.get h.h_buckets.(i) in
+              if n > 0 then buckets := (bucket_le i, n) :: !buckets
+            done;
+            Histogram_item
+              ( h.h_name,
+                { hs_count = Atomic.get h.h_count;
+                  hs_sum = Atomic.get h.h_sum;
+                  hs_buckets = !buckets } )
+        in
+        item :: acc)
+      registry []
+  in
+  Mutex.unlock registry_lock;
+  List.sort (fun a b -> compare (item_name a) (item_name b)) items
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> Atomic.set c.c_cell 0
+      | Gauge g -> Atomic.set g.g_cell 0.0
+      | Histogram h ->
+        Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+        Atomic.set h.h_count 0;
+        Atomic.set h.h_sum 0.0)
+    registry;
+  Mutex.unlock registry_lock
+
+let float_json v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else if v = infinity then "\"+inf\""
+  else Printf.sprintf "%.9g" v
+
+let to_json () =
+  let items = snapshot () in
+  let pick f = List.filter_map f items in
+  let counters =
+    pick (function
+      | Counter_item (n, v) -> Some (Printf.sprintf "\"%s\":%d" (Trace.json_escape n) v)
+      | _ -> None)
+  in
+  let gauges =
+    pick (function
+      | Gauge_item (n, v) ->
+        Some (Printf.sprintf "\"%s\":%s" (Trace.json_escape n) (float_json v))
+      | _ -> None)
+  in
+  let histograms =
+    pick (function
+      | Histogram_item (n, hs) ->
+        let buckets =
+          List.map
+            (fun (le, c) ->
+              Printf.sprintf "{\"le\":%s,\"count\":%d}" (float_json le) c)
+            hs.hs_buckets
+        in
+        Some
+          (Printf.sprintf "\"%s\":{\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+             (Trace.json_escape n) hs.hs_count (float_json hs.hs_sum)
+             (String.concat "," buckets))
+      | _ -> None)
+  in
+  Printf.sprintf
+    "{\n\"counters\":{%s},\n\"gauges\":{%s},\n\"histograms\":{%s}\n}"
+    (String.concat "," counters) (String.concat "," gauges)
+    (String.concat "," histograms)
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ()))

@@ -1,0 +1,116 @@
+(** Metrics registry for the solve stack: counters, gauges and
+    log-bucket histograms.
+
+    Like {!Trace}, recording is off by default: every update is a
+    single [Atomic.get] and a branch while disabled, and lock-free
+    atomic arithmetic when enabled — engines racing on separate
+    domains record without contention.  [ecsat --metrics FILE] (or a
+    test calling {!enable}) arms recording and {!to_json} renders a
+    snapshot.
+
+    Metric names are dotted paths with the unit as the last segment
+    where it is not obvious, e.g. ["solve.cdcl.conflicts"],
+    ["certify.latency_s"], ["fast_ec.cone_vars"], ["pool.queue_depth"]
+    (see DESIGN.md §10 for the full catalog).  Handles are interned by
+    name: {!counter}[ name] returns the same cell from any module or
+    domain, so instrumented modules resolve their handles once at
+    initialization. *)
+
+val enabled : unit -> bool
+(** Is recording armed?  The single-atomic-load fast path. *)
+
+val enable : unit -> unit
+(** Arm recording; updates before this call were dropped. *)
+
+val disable : unit -> unit
+(** Disarm recording; accumulated values are kept. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept).  Call only
+    while no other domain is recording. *)
+
+(** {2 Counters} — monotone event counts. *)
+
+type counter
+
+val counter : string -> counter
+(** Get or create the counter with this name.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val add : counter -> int -> unit
+(** Add to the counter (no-op while disabled). *)
+
+val incr : counter -> unit
+(** [add c 1]. *)
+
+val counter_value : counter -> int
+(** Current value (0 if never enabled). *)
+
+(** {2 Gauges} — last-written instantaneous values. *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Get or create the gauge with this name.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val set : gauge -> float -> unit
+(** Overwrite the gauge (no-op while disabled). *)
+
+val gauge_value : gauge -> float
+(** Current value (0.0 if never set). *)
+
+(** {2 Histograms} — distributions over fixed log-scale buckets.
+
+    All histograms share one bucket layout: {!bucket_count} buckets
+    where bucket [i] has upper bound [2.0 ** (i - bucket_shift)]
+    (~6e-8 .. ~5.5e11, the last bucket absorbing overflow) — wide
+    enough for latencies in seconds and cone sizes in clauses
+    alike. *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Get or create the histogram with this name.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val observe : histogram -> float -> unit
+(** Record one sample (no-op while disabled). *)
+
+val bucket_count : int
+
+val bucket_le : int -> float
+(** Upper bound of bucket [i]; [infinity] for the last bucket. *)
+
+val bucket_index : float -> int
+(** Index of the bucket a sample falls into. *)
+
+(** {2 Snapshots} *)
+
+(** A histogram rendered for export: sample count, sum, and the
+    non-empty buckets as [(upper bound, count)] pairs. *)
+type histogram_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_buckets : (float * int) list;
+}
+
+(** One registered metric with its current value. *)
+type item =
+  | Counter_item of string * int
+  | Gauge_item of string * float
+  | Histogram_item of string * histogram_snapshot
+
+val item_name : item -> string
+(** The metric name carried by an item. *)
+
+val snapshot : unit -> item list
+(** Every registered metric with its current value, sorted by name. *)
+
+val to_json : unit -> string
+(** The snapshot as a JSON document with ["counters"], ["gauges"] and
+    ["histograms"] sections — the [METRICS.json] format. *)
+
+val write : string -> unit
+(** [write path] writes {!to_json} to [path].
+    @raise Sys_error if the path is not writable. *)

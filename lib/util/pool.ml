@@ -7,6 +7,13 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
+(* Queue pressure, observable under --metrics: the depth gauge is the
+   backlog right after a submit (jobs waiting beyond the workers), the
+   counter the total jobs ever enqueued. *)
+let jobs_submitted = Metrics.counter "pool.jobs_submitted"
+
+let queue_depth = Metrics.gauge "pool.queue_depth"
+
 let rec worker_loop pool =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.jobs && not pool.shutting_down do
@@ -74,6 +81,8 @@ let submit pool f =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.push run pool.jobs;
+  Metrics.incr jobs_submitted;
+  Metrics.set queue_depth (float_of_int (Queue.length pool.jobs));
   Condition.signal pool.nonempty;
   Mutex.unlock pool.mutex;
   fut

@@ -28,6 +28,9 @@ val create : int -> t
 (** [create n] spawns [max 1 n] worker domains. *)
 
 val size : t -> int
+(** Number of worker domains — the [max 1 n] that {!create} spawned,
+    fixed for the pool's lifetime.  Callers size their fan-out with it
+    (e.g. the portfolio builds one racer per worker). *)
 
 val shutdown : t -> unit
 (** Finish queued jobs, then join all workers.  Idempotent.
@@ -40,6 +43,10 @@ val with_pool : int -> (t -> 'a) -> 'a
 type 'a future
 
 val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue one job and return its future immediately.  Jobs run in
+    submission order as workers free up; an exception escaping the job
+    is captured and delivered through {!await}, never to the worker.
+    @raise Invalid_argument after {!shutdown}. *)
 
 val await : 'a future -> ('a, exn) result
 (** Block until the job finishes.  An exception escaping the job comes

@@ -43,11 +43,67 @@ let test_jobs_one_still_solves () =
       let code, _ = run_ecsat ("solve --jobs 1 " ^ cnf) in
       Alcotest.(check int) "sequential path still answers SAT" 10 code)
 
+(* The same up-front convention for the observability sinks: an
+   unwritable --trace/--metrics path must exit 2 with a diagnostic
+   before any solving, not raise at flush time. *)
+let reject_sink sub flag () =
+  with_tiny_cnf (fun cnf ->
+      let code, err =
+        run_ecsat
+          (Printf.sprintf "%s %s /nonexistent-ecsat-dir/out.json %s" sub flag cnf)
+      in
+      Alcotest.(check int) (sub ^ " " ^ flag ^ " unwritable exits 2") 2 code;
+      Alcotest.(check bool) ("diagnostic names " ^ flag) true (contains err flag))
+
+let read_file p =
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_trace_metrics_happy_path () =
+  with_tiny_cnf (fun cnf ->
+      let tr = Filename.temp_file "ecsat_cli" ".trace.json" in
+      let m = Filename.temp_file "ecsat_cli" ".metrics.json" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove tr;
+          Sys.remove m)
+        (fun () ->
+          let code, _ =
+            run_ecsat (Printf.sprintf "solve --trace %s --metrics %s %s" tr m cnf)
+          in
+          Alcotest.(check int) "traced solve still answers SAT" 10 code;
+          Alcotest.(check bool) "trace file is a Chrome trace document" true
+            (contains (read_file tr) "\"traceEvents\"");
+          let mjson = read_file m in
+          Alcotest.(check bool) "metrics snapshot has counters" true
+            (contains mjson "\"counters\"");
+          Alcotest.(check bool) "the solve was counted" true
+            (contains mjson "\"solve.cdcl.calls\":1")))
+
 let tests =
   [ ( "cli.jobs-validation",
       [ Alcotest.test_case "solve --jobs 0" `Quick (reject_jobs "solve" "--jobs 0");
         Alcotest.test_case "solve --jobs negative" `Quick
           (reject_jobs "solve" "--jobs=-4");
         Alcotest.test_case "fast --jobs 0" `Quick (reject_jobs "fast" "--jobs 0");
-        Alcotest.test_case "--jobs 1 unaffected" `Quick test_jobs_one_still_solves ] )
+        Alcotest.test_case "--jobs 1 unaffected" `Quick test_jobs_one_still_solves ] );
+    ( "cli.observability",
+      [ Alcotest.test_case "solve --trace unwritable" `Quick
+          (reject_sink "solve" "--trace");
+        Alcotest.test_case "solve --metrics unwritable" `Quick
+          (reject_sink "solve" "--metrics");
+        Alcotest.test_case "tables --trace unwritable" `Quick
+          (fun () ->
+            (* tables takes no positional file; validation must still
+               fire before any instance is built *)
+            let code, err =
+              run_ecsat "tables --table 2 --trace /nonexistent-ecsat-dir/out.json"
+            in
+            Alcotest.(check int) "tables --trace unwritable exits 2" 2 code;
+            Alcotest.(check bool) "diagnostic names --trace" true
+              (contains err "--trace"));
+        Alcotest.test_case "solve --trace/--metrics artifacts" `Quick
+          test_trace_metrics_happy_path ] )
   ]
