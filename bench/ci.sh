@@ -65,6 +65,57 @@ ECSAT_FAULTS="portfolio.racer=raise:1" \
   dune exec bin/ecsat.exe -- solve "$PORTFOLIO_CNF" --jobs 2 --verify || status=$?
 [ "$status" -eq 10 ] || { echo "portfolio chaos: expected exit 10, got $status"; exit 1; }
 
+# Serve smoke: the daemon over stdio, a two-session JSONL script with
+# a mixed op set (create/solve/pin/add-clauses/query/health), then
+# shutdown — every request must be answered and the drain must exit 0.
+echo "== serve smoke (ecsat serve, stdio) =="
+SERVE_REQ=$(mktemp /tmp/ecsat-ci-XXXXXX.jsonl)
+SERVE_OUT=$(mktemp /tmp/ecsat-ci-XXXXXX.out)
+SERVE_CHAOS_OUT=$(mktemp /tmp/ecsat-ci-XXXXXX.out)
+trap 'rm -f "$PORTFOLIO_CNF" "$SERVE_REQ" "$SERVE_OUT" "$SERVE_CHAOS_OUT"' EXIT
+cat > "$SERVE_REQ" <<'EOF'
+{"op":"create-session","session":"healthy","id":1,"clauses":[[1,2],[-1,2],[1,-2]]}
+{"op":"create-session","session":"sick","id":2,"clauses":[[3,4],[-3,4],[3,-4]]}
+{"op":"solve","session":"healthy","id":3}
+{"op":"solve","session":"sick","id":4}
+{"op":"solve","session":"sick","id":5}
+{"op":"pin","session":"healthy","id":6,"lits":[-1,-2]}
+{"op":"solve","session":"healthy","id":7}
+{"op":"pin","session":"healthy","id":8,"lits":[]}
+{"op":"add-clauses","session":"healthy","id":9,"clauses":[[-2,-1]]}
+{"op":"solve","session":"healthy","id":10}
+{"op":"query","session":"sick","id":11}
+{"op":"health","id":12}
+{"op":"shutdown","id":13}
+EOF
+status=0
+dune exec bin/ecsat.exe -- serve --jobs 2 < "$SERVE_REQ" > "$SERVE_OUT" || status=$?
+[ "$status" -eq 0 ] || { echo "serve smoke: expected exit 0, got $status"; exit 1; }
+responses=$(wc -l < "$SERVE_OUT")
+[ "$responses" -eq 13 ] || { echo "serve smoke: expected 13 responses, got $responses"; exit 1; }
+grep -q '"status":"sat","model":.*"certified":true' "$SERVE_OUT" \
+  || { echo "serve smoke: no certified sat answer"; exit 1; }
+grep -q '"id":7,"session":"healthy","status":"unsat"' "$SERVE_OUT" \
+  || { echo "serve smoke: pinned solve did not report unsat"; exit 1; }
+
+# Serve chaos: the same script with the "sick" session's engine rigged
+# to crash twice (initial attempt + the reseeded retry).  The sick
+# session must degrade to a structured unknown — and the healthy
+# session's response stream must be byte-identical to the clean run.
+echo "== serve chaos (serve.session:sick=raise:2, --jobs 2) =="
+status=0
+ECSAT_FAULTS="seed=20020610;serve.session:sick=raise:2" \
+  dune exec bin/ecsat.exe -- serve --jobs 2 < "$SERVE_REQ" > "$SERVE_CHAOS_OUT" || status=$?
+[ "$status" -eq 0 ] || { echo "serve chaos: expected exit 0, got $status"; exit 1; }
+grep -q '"degraded":true' "$SERVE_CHAOS_OUT" \
+  || { echo "serve chaos: faulted session did not degrade"; exit 1; }
+grep '"session":"healthy"' "$SERVE_OUT" > "$SERVE_OUT.healthy"
+grep '"session":"healthy"' "$SERVE_CHAOS_OUT" > "$SERVE_CHAOS_OUT.healthy"
+cmp -s "$SERVE_OUT.healthy" "$SERVE_CHAOS_OUT.healthy" \
+  || { echo "serve chaos: healthy session stream diverged under faults"; exit 1; }
+rm -f "$SERVE_OUT.healthy" "$SERVE_CHAOS_OUT.healthy"
+echo "serve chaos: sick session degraded, healthy stream byte-identical"
+
 # ocamlformat is not part of the minimal toolchain; check formatting
 # only where it is available so the script works in both environments.
 if command -v ocamlformat >/dev/null 2>&1; then

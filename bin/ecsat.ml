@@ -84,6 +84,19 @@ let check_jobs jobs =
     exit 2
   end
 
+(* SIGTERM/SIGINT during a one-shot command raise the process-wide
+   budget interrupt line ([Budget.interrupt]): every running gauge —
+   including portfolio racers and harness workers, whose budgets carry
+   their own cancellation flags — observes it at its next check, the
+   engines return [Unknown Cancelled], and the command exits through
+   its normal partial-results path ("c stopped: cancelled" + "s
+   UNKNOWN", or the tables rendered with the rows finished so far)
+   instead of dying mid-write. *)
+let install_interrupt_handlers () =
+  let handler = Sys.Signal_handle (fun _signum -> Ec_util.Budget.interrupt ()) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler
+
 (* ---- observability (--trace / --metrics) ---- *)
 
 let trace_arg =
@@ -185,6 +198,7 @@ let report_solution ?verify f = function
 let solve_cmd =
   let run file backend timeout conflicts verify jobs trace metrics =
     check_jobs jobs;
+    install_interrupt_handlers ();
     with_observability ~trace ~metrics @@ fun () ->
     let f = load file in
     if jobs > 1 then begin
@@ -278,6 +292,7 @@ let with_initial file backend k =
 let fast_cmd =
   let run file backend add eliminate timeout conflicts verify jobs trace metrics =
     check_jobs jobs;
+    install_interrupt_handlers ();
     with_observability ~trace ~metrics @@ fun () ->
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
@@ -409,6 +424,7 @@ let gen_cmd =
 let tables_cmd =
   let run table scale trials no_large paper jobs trace metrics =
     check_jobs jobs;
+    install_interrupt_handlers ();
     with_observability ~trace ~metrics @@ fun () ->
     let config =
       if paper then { Ec_harness.Protocol.paper_config with jobs }
@@ -468,6 +484,160 @@ let tables_cmd =
     Term.(const run $ table $ scale $ trials $ no_large $ paper $ jobs_arg $ trace_arg
           $ metrics_arg)
 
+(* ---- serve ---- *)
+
+(* Endpoint flags are validated before the daemon touches a socket or
+   spawns a domain — the [check_jobs]/[check_sink] convention: a serve
+   invocation that cannot possibly listen fails in milliseconds with a
+   diagnostic and exit 2, it does not come up half-dead. *)
+let check_serve_endpoint socket tcp =
+  (match (socket, tcp) with
+  | Some _, Some _ ->
+    Printf.eprintf "ecsat: --socket and --tcp are mutually exclusive\n";
+    exit 2
+  | _ -> ());
+  (match socket with
+  | None -> ()
+  | Some path ->
+    let dir = Filename.dirname path in
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf
+        "ecsat: --socket parent directory %S does not exist\n" dir;
+      exit 2
+    end;
+    (match Unix.access dir [ Unix.W_OK; Unix.X_OK ] with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "ecsat: --socket directory %S is not writable: %s\n" dir
+        (Unix.error_message err);
+      exit 2);
+    if Sys.file_exists path then
+      match (Unix.stat path).Unix.st_kind with
+      | Unix.S_SOCK -> () (* a stale socket from a previous run; replaced *)
+      | _ ->
+        Printf.eprintf
+          "ecsat: --socket path %S exists and is not a socket (refusing to replace it)\n"
+          path;
+        exit 2);
+  match tcp with
+  | Some port when port < 1 || port > 65535 ->
+    Printf.eprintf "ecsat: --tcp port must be in 1..65535 (got %d)\n" port;
+    exit 2
+  | _ -> ()
+
+let check_min flag minimum v =
+  if v < minimum then begin
+    Printf.eprintf "ecsat: %s must be >= %d (got %d)\n" flag minimum v;
+    exit 2
+  end
+
+let serve_cmd =
+  let run socket tcp jobs session_bound global_bound max_sessions deadline_ms
+      drain_s grace_s trace metrics =
+    check_jobs jobs;
+    check_serve_endpoint socket tcp;
+    check_min "--session-queue-bound" 1 session_bound;
+    check_min "--queue-bound" 1 global_bound;
+    check_min "--max-sessions" 1 max_sessions;
+    check_min "--deadline-ms" 1 deadline_ms;
+    if drain_s < 0.0 then begin
+      Printf.eprintf "ecsat: --drain-timeout must be >= 0 (got %g)\n" drain_s;
+      exit 2
+    end;
+    if grace_s < 0.0 then begin
+      Printf.eprintf "ecsat: --watchdog-grace must be >= 0 (got %g)\n" grace_s;
+      exit 2
+    end;
+    with_observability ~trace ~metrics @@ fun () ->
+    let stop = Atomic.make false in
+    (* For the daemon the signals mean "drain", not "cancel": stop
+       accepting, finish in-flight work against the drain deadline,
+       exit 0.  The reader polls the flag, so an idle daemon reacts
+       within its select tick. *)
+    let handler = Sys.Signal_handle (fun _signum -> Atomic.set stop true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler;
+    let cfg =
+      { (Ec_server.Server.default_config ()) with
+        jobs;
+        session_queue_bound = session_bound;
+        global_queue_bound = global_bound;
+        max_sessions;
+        default_deadline_ms = deadline_ms;
+        drain_deadline_s = drain_s;
+        watchdog_grace_s = grace_s;
+        stop }
+    in
+    match
+      match (socket, tcp) with
+      | Some path, None -> Ec_server.Server.run_unix_socket cfg path
+      | None, Some port -> Ec_server.Server.run_tcp cfg port
+      | None, None | Some _, Some _ -> Ec_server.Server.run_stdio cfg
+    with
+    | code -> code
+    | exception Unix.Unix_error (err, fn, arg) ->
+      (* Validation cannot prove a bind will succeed (EADDRINUSE, a
+         race on the path); late endpoint failures keep the same
+         contract as the up-front checks. *)
+      Printf.eprintf "ecsat: serve endpoint failed: %s(%s): %s\n" fn arg
+        (Unix.error_message err);
+      exit 2
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket instead of stdio.  A stale \
+                   socket file at $(docv) is replaced; sessions persist across \
+                   client connections.")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some int) None
+         & info [ "tcp" ] ~docv:"PORT"
+             ~doc:"Listen on loopback TCP port $(docv) instead of stdio.")
+  in
+  let session_bound_arg =
+    Arg.(value & opt int 16
+         & info [ "session-queue-bound" ] ~docv:"N"
+             ~doc:"Max queued requests per session before the server answers \
+                   $(b,overloaded) with a retry_after_ms hint.")
+  in
+  let global_bound_arg =
+    Arg.(value & opt int 256
+         & info [ "queue-bound" ] ~docv:"N"
+             ~doc:"Max queued requests across all sessions (global backpressure).")
+  in
+  let max_sessions_arg =
+    Arg.(value & opt int 1024
+         & info [ "max-sessions" ] ~docv:"N" ~doc:"Max concurrent sessions.")
+  in
+  let deadline_arg =
+    Arg.(value & opt int 2000
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request solve deadline (a request's own \
+                   deadline_ms overrides it); a solve past its deadline is \
+                   cancelled cooperatively and answered $(b,unknown).")
+  in
+  let drain_arg =
+    Arg.(value & opt float 5.0
+         & info [ "drain-timeout" ] ~docv:"SECS"
+             ~doc:"On shutdown, how long in-flight work may finish before it \
+                   is cancelled cooperatively.")
+  in
+  let grace_arg =
+    Arg.(value & opt float 0.05
+         & info [ "watchdog-grace" ] ~docv:"SECS"
+             ~doc:"How long past its deadline the watchdog lets a solve run \
+                   before pulling its cancellation flag.  The engine's own \
+                   budget check normally answers first; the watchdog is the \
+                   backstop for a solve wedged outside the engine (chaos \
+                   tests shrink this to make injected stalls observable).")
+  in
+  let doc = "run the EC daemon (JSONL protocol over stdio, a Unix socket, or loopback TCP)" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ tcp_arg $ jobs_arg $ session_bound_arg
+          $ global_bound_arg $ max_sessions_arg $ deadline_arg $ drain_arg
+          $ grace_arg $ trace_arg $ metrics_arg)
+
 let () =
   (* Fault-injection hook: ECSAT_FAULTS="seed=7;cdcl.answer=corrupt;..."
      arms deterministic failpoints inside the engines — the chaos knob
@@ -476,4 +646,4 @@ let () =
   Ec_util.Fault.configure_from_env ();
   let doc = "ILP-based engineering change on SAT (DAC 2002 reproduction)" in
   let info = Cmd.info "ecsat" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ solve_cmd; enable_cmd; fast_cmd; preserve_cmd; preprocess_cmd; gen_cmd; tables_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ solve_cmd; enable_cmd; fast_cmd; preserve_cmd; preprocess_cmd; gen_cmd; tables_cmd; serve_cmd ]))

@@ -612,15 +612,24 @@ module Session = struct
 
   let add_clauses t clauses = List.iter (add_clause t) clauses
 
-  let solve ?(assumptions = []) t =
+  let solve ?(assumptions = []) ?budget t =
     t.solves <- t.solves + 1;
     if t.dead then Outcome.Unsat
     else begin
       backtrack t.s 0;
       (* Per-solve gauge: the session's budget is an allowance for each
          [solve] call, not for the session's whole lifetime, so the
-         cumulative session counters are rebased here. *)
-      let gauge = Ec_util.Budget.start t.options.budget in
+         cumulative session counters are rebased here.  A per-call
+         [budget] (the serve daemon's per-request deadline) is
+         intersected with the session's own; putting it first keeps
+         its cancellation flag live, which is what the daemon's
+         watchdog pulls. *)
+      let limit =
+        match budget with
+        | None -> t.options.budget
+        | Some b -> Ec_util.Budget.combine b t.options.budget
+      in
+      let gauge = Ec_util.Budget.start limit in
       let conflicts0 = t.s.stat_conflicts and nodes0 = t.s.stat_decisions in
       let check () =
         Ec_util.Budget.check gauge

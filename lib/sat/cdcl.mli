@@ -79,7 +79,11 @@ module Session : sig
 
   val add_clauses : t -> Ec_cnf.Clause.t list -> unit
 
-  val solve : ?assumptions:Ec_cnf.Lit.t list -> t -> Outcome.t
+  val solve : ?assumptions:Ec_cnf.Lit.t list -> ?budget:Ec_util.Budget.t -> t -> Outcome.t
+  (** [budget] (if given) is intersected with the session options'
+      budget for this call only — the per-request allowance of the
+      serve daemon.  Its cancellation flag stays live, so a watchdog
+      holding it can stop the solve cooperatively. *)
 
   val solve_count : t -> int
 end

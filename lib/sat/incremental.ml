@@ -8,6 +8,6 @@ let add_clause = Cdcl.Session.add_clause
 
 let add_clauses = Cdcl.Session.add_clauses
 
-let solve = Cdcl.Session.solve
+let solve ?assumptions ?budget t = Cdcl.Session.solve ?assumptions ?budget t
 
 let solve_count = Cdcl.Session.solve_count

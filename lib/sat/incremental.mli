@@ -25,10 +25,14 @@ val add_clause : t -> Ec_cnf.Clause.t -> unit
 
 val add_clauses : t -> Ec_cnf.Clause.t list -> unit
 
-val solve : ?assumptions:Ec_cnf.Lit.t list -> t -> Outcome.t
+val solve :
+  ?assumptions:Ec_cnf.Lit.t list -> ?budget:Ec_util.Budget.t -> t -> Outcome.t
 (** Satisfiability of everything posted so far, under assumptions.
     After [Unsat] (without assumptions) the session is permanently
-    unsatisfiable and keeps answering [Unsat]. *)
+    unsatisfiable and keeps answering [Unsat].  [budget] caps this
+    call only (intersected with the session options' budget); running
+    out answers [Unknown], and the session remains usable.  This is
+    the serve daemon's per-request watchdog hook. *)
 
 val solve_count : t -> int
 (** Number of [solve] calls so far (instrumentation). *)

@@ -1,0 +1,69 @@
+(** The [ecsat serve] daemon: a fault-contained, session-sharded EC
+    server.
+
+    A long-lived process holding many concurrent EC {!Session}s and
+    speaking the JSONL protocol ({!Wire}) over stdio, a Unix-domain
+    socket, or loopback TCP.  Architecture (DESIGN.md §11):
+
+    - the {e reader} (the calling thread) decodes one request per
+      line; malformed, oversized and unknown-op lines are answered
+      with structured errors and never stop the loop;
+    - session-scoped requests go to bounded {e per-session queues}
+      and are drained by jobs sharded across an {!Ec_util.Pool} of
+      domains — one in-flight drain job per session, so a session's
+      requests are strictly ordered while distinct sessions run
+      concurrently; a full queue (or a full server) answers
+      [overloaded] with a [retry_after_ms] hint instead of buffering
+      without bound;
+    - every solve runs under a per-request {!Ec_util.Budget} deadline
+      with a {!Watchdog} backstop, and {!Session.solve}'s containment
+      turns any engine crash or certification failure into a degraded
+      [unknown] for that request only;
+    - EOF (stdio), a [shutdown] request, or the configured stop flag
+      (the CLI's SIGTERM/SIGINT handler) triggers a {e graceful
+      drain}: stop accepting, finish in-flight work against the drain
+      deadline, cancel stragglers cooperatively, join every domain,
+      and return 0.
+
+    Observability: [serve.request] / [serve.session] / [serve.drain]
+    spans, [serve.sessions_active] and [serve.queue_depth] gauges,
+    per-op latency histograms, and counters for errors, overloads and
+    degraded answers — all through the existing
+    {!Ec_util.Trace}/{!Ec_util.Metrics} layer. *)
+
+type config = {
+  jobs : int;                  (** domain-pool width for session work *)
+  session_queue_bound : int;   (** max queued requests per session *)
+  global_queue_bound : int;    (** max queued requests server-wide *)
+  max_sessions : int;
+  default_deadline_ms : int;   (** per-request deadline when the
+                                   request carries none *)
+  max_line_bytes : int;        (** oversized-line guard *)
+  drain_deadline_s : float;    (** graceful-drain allowance *)
+  watchdog_grace_s : float;    (** watchdog fires this long after the
+                                   request deadline *)
+  stop : bool Atomic.t;        (** external stop request (signals) *)
+}
+
+val default_config : unit -> config
+(** jobs 1, queue bound 16/256, 2s default deadline, 8 MiB lines, 5s
+    drain, fresh [stop] flag. *)
+
+val run : config -> Unix.file_descr -> Unix.file_descr -> int
+(** Serve JSONL requests from the first descriptor, answers to the
+    second, until EOF / [shutdown] / [stop]; then drain.  Returns the
+    process exit code (0 on a clean drain). *)
+
+val run_stdio : config -> int
+
+val run_unix_socket : config -> string -> int
+(** Listen on a Unix-domain socket path (an existing file at the path
+    is replaced; the CLI validates it first).  One connection is
+    served at a time; sessions persist across connections, so a
+    client can disconnect and resume.  [shutdown] (or the stop flag)
+    drains and exits; a plain disconnect does not.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val run_tcp : config -> int -> int
+(** Same, on loopback TCP.
+    @raise Unix.Unix_error if the port cannot be bound. *)

@@ -1,0 +1,91 @@
+module Budget = Ec_util.Budget
+
+type entry = {
+  deadline : float;            (* absolute, Unix.gettimeofday clock *)
+  budget : Budget.t;
+  mutable active : bool;       (* false once disarmed or fired *)
+  mutable fired : bool;
+}
+
+type token = entry
+
+type t = {
+  lock : Mutex.t;
+  mutable entries : entry list;
+  mutable stop : bool;
+  tick_s : float;
+  mutable domain : unit Domain.t option;
+}
+
+let fired_metric = Ec_util.Metrics.counter "serve.watchdog.cancelled"
+
+let cancel_entry e =
+  (* A budget built without its own flag cannot be cancelled; guards in
+     the server always carry one, but refusing to raise the shared
+     sentinel keeps the module safe for any caller. *)
+  (match Budget.cancel e.budget with
+  | () -> e.fired <- true; Ec_util.Metrics.incr fired_metric
+  | exception Invalid_argument _ -> ());
+  e.active <- false
+
+let sweep t now =
+  Mutex.lock t.lock;
+  let expired, live =
+    List.partition (fun e -> e.active && e.deadline <= now) t.entries
+  in
+  List.iter cancel_entry expired;
+  t.entries <- List.filter (fun e -> e.active) live;
+  Mutex.unlock t.lock
+
+let rec loop t =
+  Unix.sleepf t.tick_s;
+  let stop =
+    Mutex.lock t.lock;
+    let s = t.stop in
+    Mutex.unlock t.lock;
+    s
+  in
+  if not stop then begin
+    sweep t (Unix.gettimeofday ());
+    loop t
+  end
+
+let create ?(tick_s = 0.01) () =
+  let t =
+    { lock = Mutex.create (); entries = []; stop = false; tick_s; domain = None }
+  in
+  t.domain <- Some (Domain.spawn (fun () -> loop t));
+  t
+
+let guard t ~deadline_s budget =
+  let e =
+    { deadline = Unix.gettimeofday () +. deadline_s;
+      budget;
+      active = true;
+      fired = false }
+  in
+  Mutex.lock t.lock;
+  t.entries <- e :: t.entries;
+  Mutex.unlock t.lock;
+  e
+
+let disarm t e =
+  Mutex.lock t.lock;
+  e.active <- false;
+  Mutex.unlock t.lock
+
+let fired e = e.fired
+
+let cancel_all t =
+  Mutex.lock t.lock;
+  List.iter (fun e -> if e.active then cancel_entry e) t.entries;
+  t.entries <- [];
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  let d = t.domain in
+  t.domain <- None;
+  Mutex.unlock t.lock;
+  Option.iter Domain.join d

@@ -32,6 +32,20 @@ type t = {
    raise it and the owner observes the store without a data race. *)
 let never = Atomic.make false
 
+(* Process-wide interrupt line, observed by every gauge alongside the
+   budget's own flag.  This is what lets a SIGTERM/SIGINT handler stop
+   a solve no matter how deeply the budget was re-wrapped on the way
+   down (the portfolio and the fast-EC race attach fresh per-race
+   cancellation flags, so a flag installed by the caller would not
+   survive to the engines).  One extra atomic load per [check]. *)
+let interrupt_line = Atomic.make false
+
+let interrupt () = Atomic.set interrupt_line true
+
+let clear_interrupt () = Atomic.set interrupt_line false
+
+let interrupted () = Atomic.get interrupt_line
+
 let unlimited =
   { time_s = None; conflicts = None; nodes = None; iterations = None; cancel = never }
 
@@ -120,7 +134,7 @@ let elapsed_s g = Unix.gettimeofday () -. g.started
 let over limit spent = match limit with None -> false | Some l -> spent > l
 
 let check ?(conflicts = 0) ?(nodes = 0) ?(iterations = 0) g =
-  if Atomic.get g.limit.cancel then Some Cancelled
+  if Atomic.get g.limit.cancel || Atomic.get interrupt_line then Some Cancelled
   else if over g.limit.conflicts conflicts then Some Conflict_budget
   else if over g.limit.nodes nodes then Some Node_budget
   else if over g.limit.iterations iterations then Some Iteration_budget

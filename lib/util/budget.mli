@@ -71,6 +71,26 @@ val cancel : t -> unit
 
 val cancelled : t -> bool
 
+(** {2 Process-wide interrupt}
+
+    A second cancellation line shared by {e every} budget in the
+    process, checked by {!check} alongside the budget's own flag.
+    This is the hook for SIGTERM/SIGINT handlers: per-budget flags do
+    not survive the re-wrapping the portfolio and the fast-EC race
+    perform ({!with_cancel} attaches a fresh per-race flag), but the
+    interrupt line reaches every engine on every domain regardless of
+    nesting.  Costs one extra atomic load per {!check}. *)
+
+val interrupt : unit -> unit
+(** Raise the process-wide interrupt line; every solve in flight stops
+    with [Cancelled] at its next budget check.  Async-signal-safe (a
+    single atomic store). *)
+
+val clear_interrupt : unit -> unit
+(** Lower the line again (tests; a CLI process exits instead). *)
+
+val interrupted : unit -> bool
+
 val combine : t -> t -> t
 (** Tightest of two budgets in every dimension.  The cancellation flag
     is taken from the first argument unless it is the never-raised

@@ -151,7 +151,21 @@ let sites =
     ("heuristic.answer", [ Corrupt_model; Forge_unsat ]);
     ("simplex.solve", [ Raise_exn; Burn_budget ]);
     ("portfolio.racer", [ Raise_exn ]);
-    ("portfolio.domain", [ Delay ]) ]
+    ("portfolio.domain", [ Delay ]);
+    ("serve.dispatch", [ Raise_exn; Delay ]);
+    ("serve.session", [ Raise_exn; Burn_budget; Delay ]) ]
+
+(* The serve sites may be qualified with a session name
+   ("serve.session:mysession") so a chaos plan can deterministically
+   target one session of a concurrent run — which unqualified site an
+   in-flight pair of solves reaches first is a scheduling race.  The
+   qualifier does not change the allowed actions. *)
+let qualified_bases = [ "serve.dispatch"; "serve.session" ]
+
+let site_base site =
+  match String.index_opt site ':' with
+  | Some i when List.mem (String.sub site 0 i) qualified_bases -> String.sub site 0 i
+  | Some _ | None -> site
 
 let configure spec =
   let entries =
@@ -184,7 +198,7 @@ let configure spec =
         in
         if times = -2 then Error (Printf.sprintf "bad fire count in %S" entry)
         else (
-          match (List.assoc_opt site sites, action_of_string action_s) with
+          match (List.assoc_opt (site_base site) sites, action_of_string action_s) with
           | None, _ ->
             Error
               (Printf.sprintf "unknown fault site %S (known: %s)" site

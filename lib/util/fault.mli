@@ -20,6 +20,7 @@
     - ["heuristic.solve"], ["heuristic.answer"]
     - ["simplex.solve"]
     - ["portfolio.racer"], ["portfolio.domain"]
+    - ["serve.dispatch"], ["serve.session"]
 
     [*.solve] sites honor [Raise_exn] and [Burn_budget]; [*.answer]
     sites honor [Corrupt_model] and [Forge_unsat].
@@ -27,6 +28,14 @@
     ["portfolio.domain"] ([Delay]) stalls a racer's domain before it
     begins — the chaos suite uses both to prove a crashed or slow
     racer never loses the race for the others.
+
+    ["serve.dispatch"] ([Raise_exn], [Delay]) fires in the daemon's
+    request-dispatch loop; ["serve.session"] ([Raise_exn],
+    [Burn_budget], [Delay]) fires inside a serve session's solve.  The
+    serve sites accept a session-name qualifier
+    (["serve.session:mysession"]) so a chaos plan targets one session
+    of a concurrent run deterministically — the engine fires both the
+    unqualified site and the qualified one for the session at hand.
 
     All hooks are safe to run concurrently from several domains: the
     plan table sits behind a mutex, the scalar flags are atomics, and

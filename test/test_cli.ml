@@ -82,6 +82,43 @@ let test_trace_metrics_happy_path () =
           Alcotest.(check bool) "the solve was counted" true
             (contains mjson "\"solve.cdcl.calls\":1")))
 
+(* ---- serve: up-front endpoint/bounds validation (exit 2) ---- *)
+
+let reject_serve args needle () =
+  let code, err = run_ecsat ("serve " ^ args ^ " </dev/null") in
+  Alcotest.(check int) ("serve " ^ args ^ " exits 2") 2 code;
+  Alcotest.(check bool) ("diagnostic names " ^ needle) true (contains err needle)
+
+(* End-to-end over the real binary and stdio: mixed ops in, one JSONL
+   answer per request out, certified answers, clean drain (exit 0). *)
+let test_serve_stdio_roundtrip () =
+  let req = Filename.temp_file "ecsat_serve" ".jsonl" in
+  let out = Filename.temp_file "ecsat_serve" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove req;
+      Sys.remove out)
+    (fun () ->
+      let oc = open_out req in
+      output_string oc
+        ({|{"op":"create-session","session":"a","id":1,"clauses":[[1,2],[-1,2],[1,-2]]}|}
+        ^ "\n" ^ {|{"op":"solve","session":"a","id":2}|} ^ "\n"
+        ^ {|{"op":"pin","session":"a","id":3,"lits":[-2]}|} ^ "\n"
+        ^ {|{"op":"solve","session":"a","id":4}|} ^ "\n"
+        ^ {|{"op":"shutdown","id":5}|} ^ "\n");
+      close_out oc;
+      let code = Sys.command (Printf.sprintf "%s serve <%s >%s 2>/dev/null" exe req out) in
+      Alcotest.(check int) "daemon drains to exit 0" 0 code;
+      let text = read_file out in
+      let lines =
+        String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "one response per request" 5 (List.length lines);
+      Alcotest.(check bool) "certified sat answer" true
+        (contains text {|"status":"sat"|} && contains text {|"certified":true|});
+      Alcotest.(check bool) "pinned re-solve flips to unsat" true
+        (contains text {|"status":"unsat"|}))
+
 let tests =
   [ ( "cli.jobs-validation",
       [ Alcotest.test_case "solve --jobs 0" `Quick (reject_jobs "solve" "--jobs 0");
@@ -105,5 +142,25 @@ let tests =
             Alcotest.(check bool) "diagnostic names --trace" true
               (contains err "--trace"));
         Alcotest.test_case "solve --trace/--metrics artifacts" `Quick
-          test_trace_metrics_happy_path ] )
+          test_trace_metrics_happy_path ] );
+    ( "cli.serve-validation",
+      [ Alcotest.test_case "missing socket directory" `Quick
+          (reject_serve "--socket /nonexistent-ecsat-dir/d.sock" "--socket");
+        Alcotest.test_case "socket path is a regular file" `Quick
+          (fun () ->
+            let path = Filename.temp_file "ecsat_serve" ".notasock" in
+            Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+                reject_serve ("--socket " ^ path) "not a socket" ()));
+        Alcotest.test_case "port out of range" `Quick
+          (reject_serve "--tcp 70000" "1..65535");
+        Alcotest.test_case "socket and tcp exclusive" `Quick
+          (reject_serve "--socket /tmp/a.sock --tcp 7777" "mutually exclusive");
+        Alcotest.test_case "jobs" `Quick (reject_serve "--jobs 0" "--jobs");
+        Alcotest.test_case "deadline" `Quick
+          (reject_serve "--deadline-ms 0" "--deadline-ms");
+        Alcotest.test_case "queue bound" `Quick
+          (reject_serve "--queue-bound 0" "--queue-bound");
+        Alcotest.test_case "drain timeout" `Quick
+          (reject_serve "--drain-timeout=-1" "--drain-timeout");
+        Alcotest.test_case "stdio roundtrip" `Quick test_serve_stdio_roundtrip ] )
   ]

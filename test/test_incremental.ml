@@ -53,6 +53,25 @@ let test_session_assumptions () =
   (* assumption-unsat must not kill the session *)
   check Alcotest.bool "still alive" true (O.is_sat (I.solve s))
 
+(* The per-call budget (the serve daemon's watchdog hook): a cancelled
+   budget answers [Unknown Cancelled] even on a trivially satisfiable
+   session, and the session stays usable for the next call. *)
+let test_session_per_call_budget () =
+  let s = I.create (F.of_lists ~num_vars:2 [ [ 1; 2 ] ]) in
+  let cancelled = Atomic.make true in
+  (match I.solve ~budget:(Ec_util.Budget.create ~cancel:cancelled ()) s with
+  | O.Unknown Ec_util.Budget.Cancelled -> ()
+  | o -> Alcotest.failf "expected cancelled, got %s" (O.to_string o));
+  check Alcotest.bool "session survives a cancelled call" true
+    (O.is_sat (I.solve s));
+  (* an exhausted conflict budget caps only its own call *)
+  let tight = Ec_util.Budget.create ~conflicts:0 () in
+  (match I.solve ~budget:tight s with
+  | O.Unknown _ | O.Sat _ -> () (* trivial instances may finish before a check *)
+  | O.Unsat -> Alcotest.fail "budget must not invent a verdict");
+  check Alcotest.bool "still alive after the capped call" true
+    (O.is_sat (I.solve s))
+
 let test_session_empty_clause () =
   let s = I.create (F.of_lists ~num_vars:1 [ [ 1 ] ]) in
   I.add_clause s (C.make []);
@@ -104,5 +123,6 @@ let tests =
       [ Alcotest.test_case "basics" `Quick test_session_basics;
         Alcotest.test_case "variable growth + rebuild" `Quick test_session_var_growth;
         Alcotest.test_case "assumptions" `Quick test_session_assumptions;
+        Alcotest.test_case "per-call budget" `Quick test_session_per_call_budget;
         Alcotest.test_case "empty clause" `Quick test_session_empty_clause;
         qtest prop_session_equals_scratch ] ) ]
