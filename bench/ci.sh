@@ -116,6 +116,42 @@ cmp -s "$SERVE_OUT.healthy" "$SERVE_CHAOS_OUT.healthy" \
 rm -f "$SERVE_OUT.healthy" "$SERVE_CHAOS_OUT.healthy"
 echo "serve chaos: sick session degraded, healthy stream byte-identical"
 
+# MaxSAT smoke: the core-guided engine against the repeated-ILP
+# baseline on regenerated Table 3 trials (fixed harness seed, so the
+# numbers are reproducible).  The bench itself asserts agreement of
+# certified optima per trial; here we additionally gate on the summary
+# flags and keep BENCH_maxsat.json as a build artifact.  Scale 0.25 is
+# the smallest configuration whose instances are big enough for the
+# ≥5x re-encoding claim to hold (tiny instances amortise nothing);
+# it finishes in ~2s.
+echo "== maxsat smoke (bench --maxsat, scale 0.25) =="
+dune exec bench/main.exe -- --maxsat --skip-tables --skip-micro --skip-ablations \
+  --trials 2 --scale 0.25
+grep -q '"all_agree": true' BENCH_maxsat.json \
+  || { echo "maxsat smoke: certified optima diverged across engines"; exit 1; }
+grep -q '"meets_5x_fewer_clauses": true' BENCH_maxsat.json \
+  || { echo "maxsat smoke: re-encoding ratio fell below 5x"; exit 1; }
+grep -q '"strictly_fewer_conflicts": true' BENCH_maxsat.json \
+  || { echo "maxsat smoke: maxsat spent more conflicts than repeated ILP"; exit 1; }
+echo "maxsat smoke: BENCH_maxsat.json"
+
+# MaxSAT chaos: the "maxsat.core" failpoint corrupts the first unsat
+# core the engine extracts.  The engine must detect the impossible
+# literal and the CLI must degrade to a structured UNKNOWN (exit 0,
+# never a wrong optimum).
+echo "== maxsat chaos (maxsat.core=corrupt:1) =="
+MAXSAT_CNF=$(mktemp /tmp/ecsat-ci-XXXXXX.cnf)
+trap 'rm -f "$PORTFOLIO_CNF" "$SERVE_REQ" "$SERVE_OUT" "$SERVE_CHAOS_OUT" "$MAXSAT_CNF"' EXIT
+printf 'p cnf 2 1\n1 2 0\n' > "$MAXSAT_CNF"
+MAXSAT_CHAOS=$(ECSAT_FAULTS="maxsat.core=corrupt:1" \
+  dune exec bin/ecsat.exe -- preserve --engine maxsat --add=-1 "$MAXSAT_CNF") || \
+  { echo "maxsat chaos: expected a graceful exit 0, got $?"; exit 1; }
+echo "$MAXSAT_CHAOS" | grep -q '^s UNKNOWN' \
+  || { echo "maxsat chaos: corrupted core did not degrade to UNKNOWN"; exit 1; }
+echo "$MAXSAT_CHAOS" | grep -q 'engine-failure(maxsat' \
+  || { echo "maxsat chaos: missing structured engine-failure reason"; exit 1; }
+echo "maxsat chaos: corrupted core contained as a structured UNKNOWN"
+
 # ocamlformat is not part of the minimal toolchain; check formatting
 # only where it is available so the script works in both environments.
 if command -v ocamlformat >/dev/null 2>&1; then

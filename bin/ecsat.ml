@@ -315,14 +315,31 @@ let fast_cmd =
     Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ timeout_arg
           $ conflicts_arg $ verify_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
+(* [--engine] names are validated before any file is read — the
+   [check_jobs] convention: an unknown name fails in milliseconds with
+   a diagnostic on stderr and exit 2. *)
+let preserving_engine_of_name = function
+  | "ilp" -> Ec_core.Preserving.Ilp_objective Ec_ilpsolver.Bnb.default_options
+  | "ilp-iterative" -> Ec_core.Preserving.Ilp_iterative Ec_ilpsolver.Bnb.default_options
+  | "sat" -> Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options
+  | "maxsat" -> Ec_core.Preserving.Sat_maxsat Ec_sat.Maxsat.default_options
+  | name ->
+    Printf.eprintf
+      "ecsat: unknown preserving engine %S (expected ilp, ilp-iterative, sat or maxsat)\n"
+      name;
+    exit 2
+
 let preserve_cmd =
-  let run file backend add eliminate use_sat timeout conflicts verify =
+  let run file backend add eliminate use_sat engine_name timeout conflicts verify =
+    let engine =
+      match engine_name with
+      | Some name -> preserving_engine_of_name name
+      | None ->
+        if use_sat then Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options
+        else Ec_core.Preserving.default_engine
+    in
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
-        let engine =
-          if use_sat then Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options
-          else Ec_core.Preserving.default_engine
-        in
         let r =
           Ec_core.Flow.apply_change_response
             ~strategy:(Ec_core.Flow.Preserve engine) ~solver:backend
@@ -338,12 +355,21 @@ let preserve_cmd =
   let use_sat =
     Arg.(value & flag
          & info [ "sat-engine" ]
-             ~doc:"Use the CDCL+cardinality engine instead of the ILP objective.")
+             ~doc:"Use the CDCL+cardinality engine instead of the ILP objective \
+                   (shorthand for $(b,--engine sat)).")
+  in
+  let engine_name =
+    Arg.(value & opt (some string) None
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Preserving engine: $(b,ilp) (\xc2\xa77 objective, branch & bound), \
+                   $(b,ilp-iterative) (repeated ILP decision probes, re-encoded per \
+                   probe), $(b,sat) (incremental CDCL + reusable cardinality bound), \
+                   or $(b,maxsat) (core-guided MaxSAT on one incremental session).")
   in
   let doc = "apply changes and re-solve with preserving EC (paper \xc2\xa77)" in
   Cmd.v (Cmd.info "preserve" ~doc)
     Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ use_sat
-          $ timeout_arg $ conflicts_arg $ verify_arg)
+          $ engine_name $ timeout_arg $ conflicts_arg $ verify_arg)
 
 (* ---- preprocess ---- *)
 
@@ -421,19 +447,31 @@ let gen_cmd =
 
 (* ---- tables ---- *)
 
+(* Same up-front validation convention as [check_jobs]. *)
+let tables_preserving_of_name = function
+  | "tiered" -> Ec_harness.Protocol.Tiered
+  | "ilp" -> Ec_harness.Protocol.Forced_ilp
+  | "maxsat" -> Ec_harness.Protocol.Forced_maxsat
+  | name ->
+    Printf.eprintf
+      "ecsat: unknown tables engine %S (expected tiered, ilp or maxsat)\n" name;
+    exit 2
+
 let tables_cmd =
-  let run table scale trials no_large paper jobs trace metrics =
+  let run table scale trials no_large paper jobs engine_name trace metrics =
     check_jobs jobs;
+    let preserving = tables_preserving_of_name engine_name in
     install_interrupt_handlers ();
     with_observability ~trace ~metrics @@ fun () ->
     let config =
-      if paper then { Ec_harness.Protocol.paper_config with jobs }
+      if paper then { Ec_harness.Protocol.paper_config with jobs; preserving }
       else
         { Ec_harness.Protocol.default_config with
           scale;
           trials;
           include_large = not no_large;
-          jobs }
+          jobs;
+          preserving }
     in
     let progress s = Printf.eprintf "[%s]\n%!" s in
     let run_one = function
@@ -479,10 +517,18 @@ let tables_cmd =
          & info [ "paper" ]
              ~doc:"Full paper-scale run: scale 1.0, no solve caps.  Takes hours.")
   in
+  let engine_name =
+    Arg.(value & opt string "tiered"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Engine for Table 3's preserving re-solves: $(b,tiered) (the \
+                   historical per-tier assignment, the default), $(b,ilp) (the \
+                   \xc2\xa77 ILP objective on every instance), or $(b,maxsat) \
+                   (core-guided MaxSAT on every instance).")
+  in
   let doc = "regenerate the paper's result tables" in
   Cmd.v (Cmd.info "tables" ~doc)
-    Term.(const run $ table $ scale $ trials $ no_large $ paper $ jobs_arg $ trace_arg
-          $ metrics_arg)
+    Term.(const run $ table $ scale $ trials $ no_large $ paper $ jobs_arg $ engine_name
+          $ trace_arg $ metrics_arg)
 
 (* ---- serve ---- *)
 

@@ -3,6 +3,7 @@ type t =
   | Ilp_heuristic of Ec_ilpsolver.Heuristic.options
   | Cdcl of Ec_sat.Cdcl.options
   | Dpll of Ec_sat.Dpll.options
+  | Maxsat of Ec_sat.Maxsat.options
 
 let ilp_exact = Ilp_exact Ec_ilpsolver.Bnb.default_options
 
@@ -13,15 +14,23 @@ let cdcl = Cdcl Ec_sat.Cdcl.default_options
 
 let dpll = Dpll Ec_sat.Dpll.default_options
 
+let maxsat = Maxsat Ec_sat.Maxsat.default_options
+
 let name = function
   | Ilp_exact _ -> "ilp-bnb"
   | Ilp_heuristic _ -> "ilp-heuristic"
   | Cdcl _ -> "cdcl"
   | Dpll _ -> "dpll"
+  | Maxsat _ -> "maxsat"
 
 let with_phase_hint t hint =
   match t with
   | Cdcl options -> Cdcl { options with phase_hint = Some hint }
+  | Maxsat options ->
+    Maxsat
+      { options with
+        Ec_sat.Maxsat.cdcl = { options.Ec_sat.Maxsat.cdcl with phase_hint = Some hint }
+      }
   | Ilp_exact _ | Ilp_heuristic _ | Dpll _ -> t
 
 let with_budget t budget =
@@ -33,6 +42,9 @@ let with_budget t budget =
       { o with Ec_ilpsolver.Heuristic.budget = Ec_util.Budget.combine budget o.budget }
   | Cdcl o -> Cdcl { o with Ec_sat.Cdcl.budget = Ec_util.Budget.combine budget o.budget }
   | Dpll o -> Dpll { Ec_sat.Dpll.budget = Ec_util.Budget.combine budget o.Ec_sat.Dpll.budget }
+  | Maxsat o ->
+    Maxsat
+      { o with Ec_sat.Maxsat.budget = Ec_util.Budget.combine budget o.Ec_sat.Maxsat.budget }
 
 type response = {
   outcome : Ec_sat.Outcome.t;
@@ -96,7 +108,7 @@ let with_heuristic_seed t attempt =
   | Ilp_heuristic o ->
     Ilp_heuristic
       { o with Ec_ilpsolver.Heuristic.seed = reseed o.Ec_ilpsolver.Heuristic.seed attempt }
-  | Ilp_exact _ | Cdcl _ | Dpll _ -> t
+  | Ilp_exact _ | Cdcl _ | Dpll _ | Maxsat _ -> t
 
 let failure_counters started =
   { Ec_util.Budget.zero with spent_wall_s = Unix.gettimeofday () -. started }
@@ -144,6 +156,28 @@ let solve_response ?(recover_dc = true) ?budget t formula =
         ( maybe_recover recover_dc formula r.Ec_sat.Dpll.outcome,
           r.Ec_sat.Dpll.reason,
           r.Ec_sat.Dpll.counters )
+      | Maxsat options -> (
+        (* Decision solving through the core-guided engine: no soft
+           literals, so the incumbent probe decides.  A [Corrupt_core]
+           escapes to [guarded] and is contained as an engine failure.
+           The engine's own verdicts are certified here — model, claimed
+           cost and core validity ([Certify.check_maxsat]) — before they
+           become an [Outcome] at all. *)
+        let r = Ec_sat.Maxsat.solve ~options ~soft:[] formula in
+        match Certify.check_maxsat formula r with
+        | Error detail ->
+          let reason = Ec_util.Budget.Engine_failure ("maxsat", detail) in
+          (Ec_sat.Outcome.Unknown reason, reason, r.Ec_sat.Maxsat.counters)
+        | Ok () -> (
+          match r.Ec_sat.Maxsat.verdict with
+          | Ec_sat.Maxsat.Optimum b ->
+            ( maybe_recover recover_dc formula (Ec_sat.Outcome.Sat b.Ec_sat.Maxsat.model),
+              Ec_util.Budget.Completed,
+              r.Ec_sat.Maxsat.counters )
+          | Ec_sat.Maxsat.Hard_unsat ->
+            (Ec_sat.Outcome.Unsat, Ec_util.Budget.Completed, r.Ec_sat.Maxsat.counters)
+          | Ec_sat.Maxsat.Stopped { reason; _ } ->
+            (Ec_sat.Outcome.Unknown reason, reason, r.Ec_sat.Maxsat.counters)))
       | Ilp_exact options ->
         let enc = Encode.of_formula formula in
         let r = Ec_ilpsolver.Bnb.solve_decision_response ~options (Encode.model enc) in
@@ -240,6 +274,75 @@ let solve_model_response ?budget t model =
           reason = r.Ec_sat.Cdcl.reason;
           counters = r.Ec_sat.Cdcl.counters;
           engine = name t })
+    | Maxsat options -> (
+      (* A uniform-magnitude objective over binaries is an unweighted
+         MaxSAT instance: each term becomes one soft literal (the
+         polarity the objective rewards), and an [Optimum] verdict is a
+         proved [Optimal] status — something the plain CDCL route can
+         never claim.  Non-uniform weights or non-clausal rows fall
+         back to branch & bound. *)
+      let bnb_fallback () =
+        of_bnb
+          (Ec_ilpsolver.Bnb.solve_response
+             ~options:
+               { Ec_ilpsolver.Bnb.default_options with
+                 budget = options.Ec_sat.Maxsat.budget
+               }
+             model)
+      in
+      let sense, expr = Ec_ilp.Model.objective model in
+      let terms = Ec_ilp.Linexpr.terms expr in
+      let uniform =
+        match terms with
+        | [] -> true
+        | (c0, _) :: _ ->
+          abs_float c0 > 0.0
+          && List.for_all (fun (c, _) -> abs_float c = abs_float c0) terms
+      in
+      match Cnfize.of_model model with
+      | exception Cnfize.Unsupported _ -> bnb_fallback ()
+      | _ when not uniform -> bnb_fallback ()
+      | cnf -> (
+        (* Model id [i] mirrors CNF variable [i + 1].  The objective
+           rewards a positive-coefficient variable when maximizing, a
+           negative-coefficient one when minimizing. *)
+        let soft =
+          List.map
+            (fun (c, id) ->
+              let rewarded =
+                match sense with
+                | Ec_ilp.Model.Maximize -> c > 0.0
+                | Ec_ilp.Model.Minimize -> c < 0.0
+              in
+              Ec_cnf.Lit.make (id + 1) rewarded)
+            terms
+        in
+        let r = Ec_sat.Maxsat.solve ~options ~soft cnf.Cnfize.formula in
+        match Certify.check_maxsat cnf.Cnfize.formula r with
+        | Error detail ->
+          let reason = Ec_util.Budget.Engine_failure ("maxsat", detail) in
+          { solution = Ec_ilp.Solution.unknown;
+            reason;
+            counters = r.Ec_sat.Maxsat.counters;
+            engine = name t }
+        | Ok () ->
+          let point (b : Ec_sat.Maxsat.best) status =
+            let values = Cnfize.point_of_assignment cnf b.Ec_sat.Maxsat.model in
+            let objective = Ec_ilp.Validate.objective_value model values in
+            { Ec_ilp.Solution.status; values; objective }
+          in
+          let solution, reason =
+            match r.Ec_sat.Maxsat.verdict with
+            | Ec_sat.Maxsat.Optimum b ->
+              (point b Ec_ilp.Solution.Optimal, Ec_util.Budget.Completed)
+            | Ec_sat.Maxsat.Hard_unsat ->
+              (Ec_ilp.Solution.infeasible, Ec_util.Budget.Completed)
+            | Ec_sat.Maxsat.Stopped { reason; incumbent = Some b } ->
+              (point b Ec_ilp.Solution.Feasible, reason)
+            | Ec_sat.Maxsat.Stopped { reason; incumbent = None } ->
+              (Ec_ilp.Solution.unknown, reason)
+          in
+          { solution; reason; counters = r.Ec_sat.Maxsat.counters; engine = name t }))
     | Dpll options ->
       of_bnb
         (Ec_ilpsolver.Bnb.solve_response
@@ -385,7 +488,7 @@ let default_portfolio ?prefer ~jobs () =
   let jobs = max 1 jobs in
   let catalog =
     (match prefer with Some t -> [ t ] | None -> [])
-    @ [ cdcl; ilp_exact; cdcl_variant 1; ilp_heuristic; cdcl_variant 2; dpll ]
+    @ [ cdcl; ilp_exact; cdcl_variant 1; ilp_heuristic; maxsat; cdcl_variant 2; dpll ]
   in
   let rec take n i = function
     | _ when n = 0 -> []

@@ -8,7 +8,10 @@
     - [Ilp_exact]     — set-cover encode, branch & bound (CPLEX's role);
     - [Ilp_heuristic] — set-cover encode, min-conflicts local search;
     - [Cdcl]          — clause-learning SAT solver on the CNF directly;
-    - [Dpll]          — reference solver (small instances only).
+    - [Dpll]          — reference solver (small instances only);
+    - [Maxsat]        — the core-guided engine ({!Ec_sat.Maxsat}) in
+      decision mode; on models, a native optimizer for
+      uniform-magnitude objectives (proved [Optimal] status).
 
     All backends return DC-aware assignments: the ILP paths because the
     set-cover objective leaves phases unselected, the SAT paths through
@@ -25,6 +28,7 @@ type t =
   | Ilp_heuristic of Ec_ilpsolver.Heuristic.options
   | Cdcl of Ec_sat.Cdcl.options
   | Dpll of Ec_sat.Dpll.options
+  | Maxsat of Ec_sat.Maxsat.options
 
 val ilp_exact : t
 (** [Ilp_exact] with default options. *)
@@ -35,9 +39,12 @@ val cdcl : t
 
 val dpll : t
 
+val maxsat : t
+
 val name : t -> string
 (** Short engine identifier ("cdcl", "dpll", "ilp-bnb",
-    "ilp-heuristic") — used in responses, traces and metric names. *)
+    "ilp-heuristic", "maxsat") — used in responses, traces and metric
+    names. *)
 
 val observe_response : engine:string -> Ec_util.Budget.counters -> unit
 (** Record a solve's spend under the ["solve.<engine>.*"] metric
@@ -93,10 +100,12 @@ val solve_model_response :
     models are richer than plain clause systems).  [Cdcl] translates
     clause-like models to CNF through {!Cnfize} and solves the decision
     question natively (objective reported at the found point, status
-    [Feasible]); general rows and the other SAT backend fall back to
-    branch & bound (under the same budget).  Optimization is exact
-    under [Ilp_exact]; [Ilp_heuristic] returns its best feasible
-    point. *)
+    [Feasible]); [Maxsat] additionally optimizes uniform-magnitude
+    objectives natively (soft literal per term, proved [Optimal]
+    status); general rows, non-uniform objectives and the other SAT
+    backend fall back to branch & bound (under the same budget).
+    Optimization is exact under [Ilp_exact]; [Ilp_heuristic] returns
+    its best feasible point. *)
 
 val solve_model : ?budget:Ec_util.Budget.t -> t -> Ec_ilp.Model.t -> Ec_ilp.Solution.t
 (** {!solve_model_response}'s solution alone.  Thin wrapper kept for
@@ -156,7 +165,8 @@ type portfolio_response = {
 val default_portfolio : ?prefer:t -> jobs:int -> unit -> t list
 (** A diversified racer list of length [max 1 jobs]: [prefer] (if
     given) first, then default CDCL, branch & bound, CDCL variants
-    (distinct seeds / decay / restart base), the heuristic, and DPLL. *)
+    (distinct seeds / decay / restart base), the heuristic, the
+    core-guided MaxSAT engine, and DPLL. *)
 
 val solve_portfolio :
   ?recover_dc:bool ->

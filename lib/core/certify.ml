@@ -56,6 +56,73 @@ let check_solution ?(eps = 1e-6) model (s : Ec_ilp.Solution.t) =
                s.Ec_ilp.Solution.objective recomputed)
         else Ok ())
 
+let check_core ~soft ~aux_lo ~aux_hi core =
+  timed "certify.check_core" @@ fun () ->
+  if core = [] then Error "empty core"
+  else
+    let ok l =
+      List.mem l soft
+      || (let v = Ec_cnf.Lit.var l in
+          v >= aux_lo && v < aux_hi && not (Ec_cnf.Lit.is_positive l))
+    in
+    match List.find_opt (fun l -> not (ok l)) core with
+    | None -> Ok ()
+    | Some l ->
+      Error
+        (Printf.sprintf "core literal %s is neither soft nor a relaxation bound"
+           (Ec_cnf.Lit.to_string l))
+
+let check_maxsat hard (r : Ec_sat.Maxsat.result) =
+  timed "certify.check_maxsat" @@ fun () ->
+  let soft = r.Ec_sat.Maxsat.soft in
+  let aux_lo = r.Ec_sat.Maxsat.aux_lo and aux_hi = r.Ec_sat.Maxsat.aux_hi in
+  let rec first_error = function
+    | [] -> Ok ()
+    | check :: rest -> ( match check () with Ok () -> first_error rest | e -> e)
+  in
+  let cores_ok () =
+    let rec go = function
+      | [] -> Ok ()
+      | c :: rest -> (
+        match check_core ~soft ~aux_lo ~aux_hi c with Ok () -> go rest | e -> e)
+    in
+    go r.Ec_sat.Maxsat.cores
+  in
+  let lb_matches_cores () =
+    if r.Ec_sat.Maxsat.lower_bound = List.length r.Ec_sat.Maxsat.cores then Ok ()
+    else
+      Error
+        (Printf.sprintf "lower bound %d but %d cores extracted"
+           r.Ec_sat.Maxsat.lower_bound
+           (List.length r.Ec_sat.Maxsat.cores))
+  in
+  let model_ok ~exact (b : Ec_sat.Maxsat.best) () =
+    match check_model hard b.Ec_sat.Maxsat.model with
+    | Error _ as e -> e
+    | Ok () ->
+      let recount = Ec_sat.Maxsat.cost_of soft b.Ec_sat.Maxsat.model in
+      if recount <> b.Ec_sat.Maxsat.cost then
+        Error
+          (Printf.sprintf "claimed cost %d, recounted %d" b.Ec_sat.Maxsat.cost recount)
+      else if exact && b.Ec_sat.Maxsat.cost <> r.Ec_sat.Maxsat.lower_bound then
+        Error
+          (Printf.sprintf "optimum cost %d does not meet the proved lower bound %d"
+             b.Ec_sat.Maxsat.cost r.Ec_sat.Maxsat.lower_bound)
+      else if (not exact) && b.Ec_sat.Maxsat.cost < r.Ec_sat.Maxsat.lower_bound then
+        Error
+          (Printf.sprintf "incumbent cost %d below the proved lower bound %d"
+             b.Ec_sat.Maxsat.cost r.Ec_sat.Maxsat.lower_bound)
+      else Ok ()
+  in
+  match r.Ec_sat.Maxsat.verdict with
+  | Ec_sat.Maxsat.Optimum b ->
+    first_error [ model_ok ~exact:true b; lb_matches_cores; cores_ok ]
+  | Ec_sat.Maxsat.Hard_unsat -> first_error [ lb_matches_cores; cores_ok ]
+  | Ec_sat.Maxsat.Stopped { incumbent = Some b; _ } ->
+    first_error [ model_ok ~exact:false b; lb_matches_cores; cores_ok ]
+  | Ec_sat.Maxsat.Stopped { incumbent = None; _ } ->
+    first_error [ lb_matches_cores; cores_ok ]
+
 let refutes_unsat f ~witness =
   let n = Ec_cnf.Formula.num_vars f in
   let w =

@@ -8,16 +8,26 @@
     they stay DC ([1 - xi - x(n+i)]), extending the paper's objective
     to the DC-aware encoding.
 
-    Two exact engines compute the same optimum:
+    Four exact engines compute the same optimum:
 
     - [Ilp_objective]: the §7 model solved by branch & bound — the
       paper's own route;
+    - [Ilp_iterative]: the same model as repeated decision probes
+      ("preserve at least k?" with the objective restated as a hard
+      row), the whole ILP re-encoded from scratch per probe.  The
+      rebuild-everything baseline the incremental engines are measured
+      against ([work] exposes what the rebuilding costs);
     - [Sat_cardinality]: the set-cover view re-expressed as CNF (two
       phase variables per CNF variable — "stays DC" is "both phases
-      off"), one disagreement indicator per variable, a
-      sequential-counter bound [Σ d_v <= k], and binary search on [k]
-      with the CDCL engine — the scalable route.  Both engines
-      optimize the identical objective and agree on the optimum.
+      off"), one disagreement indicator per variable, a reusable
+      counter over the indicators encoded {e once}, and binary search
+      on the bound where each probe is one assumption against a single
+      incremental CDCL session — learnt clauses carry across probes;
+    - [Sat_maxsat]: core-guided MaxSAT ({!Ec_sat.Maxsat}) with soft
+      "keep" literals [¬d_v], one incremental session end to end,
+      totalizer bounds strengthened in place per extracted core.  Every
+      decisive verdict is independently re-validated
+      ({!Certify.check_maxsat}) before it becomes a result.
 
     User-specified preservation ("preserve user specified parts of the
     solutions") is the [pins] argument: pinned variables are hard
@@ -25,9 +35,24 @@
 
 type engine =
   | Ilp_objective of Ec_ilpsolver.Bnb.options
+  | Ilp_iterative of Ec_ilpsolver.Bnb.options
   | Sat_cardinality of Ec_sat.Cdcl.options
+  | Sat_maxsat of Ec_sat.Maxsat.options
 
 val default_engine : engine
+
+(** Deterministic work counters — the currency the bench harness uses
+    to compare engines independently of wall clock. *)
+type work = {
+  probes : int;
+      (** solver queries: B&B solves for the ILP engines, incremental
+          SAT calls for the SAT engines *)
+  clauses_encoded : int;
+      (** CNF clauses posted (SAT engines) or ILP rows built (ILP
+          engines) across the whole resolve — what re-encoding costs
+          and what the incremental engines avoid *)
+  cores : int;  (** unsat cores extracted ([Sat_maxsat] only) *)
+}
 
 type result = {
   solution : Ec_cnf.Assignment.t option;
@@ -46,6 +71,7 @@ type result = {
           sum over the cardinality engine's binary-search probes.
           {!Flow.apply_change_response} threads these into its own
           totals like the other strategies. *)
+  work : work;  (** deterministic per-engine work accounting *)
 }
 
 val resolve :

@@ -1,3 +1,5 @@
+type preserving_choice = Tiered | Forced_ilp | Forced_maxsat
+
 type config = {
   scale : float;
   trials : int;
@@ -6,6 +8,7 @@ type config = {
   include_large : bool;
   enabled_initial : bool;
   jobs : int;
+  preserving : preserving_choice;
 }
 
 let default_config =
@@ -15,7 +18,8 @@ let default_config =
     budget = Ec_util.Budget.create ~time_s:30.0 ~nodes:5_000_000 ();
     include_large = true;
     enabled_initial = true;
-    jobs = 1 }
+    jobs = 1;
+    preserving = Tiered }
 
 let paper_config =
   { scale = 1.0;
@@ -24,7 +28,8 @@ let paper_config =
     budget = Ec_util.Budget.unlimited;
     include_large = true;
     enabled_initial = true;
-    jobs = 1 }
+    jobs = 1;
+    preserving = Tiered }
 
 let bnb_options config =
   { Ec_ilpsolver.Bnb.default_options with budget = config.budget }

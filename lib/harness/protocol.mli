@@ -11,6 +11,14 @@
     counts, seeds and safety limits, so every table run is reproducible
     from the config alone. *)
 
+(** Which engine Table 3's preserving re-solves use.  [Tiered] is the
+    historical assignment — the §7 ILP objective on the [Exact] tier,
+    the CDCL cardinality search on the [Heuristic] tier; the forced
+    choices run one engine across both tiers, which is how the bench
+    compares core-guided MaxSAT against the exact ILP on identical
+    trials ([ecsat tables --engine], BENCH_maxsat.json). *)
+type preserving_choice = Tiered | Forced_ilp | Forced_maxsat
+
 type config = {
   scale : float;           (** instance shrink factor, 1.0 = paper size *)
   trials : int;            (** trials per instance for Tables 2/3 *)
@@ -32,6 +40,9 @@ type config = {
           ({!instance_seed}), so a parallel run is reproducible but
           draws different random change scripts than a sequential
           one. *)
+  preserving : preserving_choice;
+      (** engine for Table 3's preserving re-solves (default
+          [Tiered]) *)
 }
 
 val default_config : config

@@ -11,9 +11,15 @@ type row = {
 type result = { rows : row list }
 
 let preserving_engine config (inst : Ec_instances.Registry.instance) =
-  if Protocol.is_heuristic_tier inst then
-    Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options
-  else Ec_core.Preserving.Ilp_objective (Protocol.bnb_options config)
+  match config.Protocol.preserving with
+  | Protocol.Forced_ilp -> Ec_core.Preserving.Ilp_objective (Protocol.bnb_options config)
+  | Protocol.Forced_maxsat ->
+    Ec_core.Preserving.Sat_maxsat
+      { Ec_sat.Maxsat.default_options with budget = config.Protocol.budget }
+  | Protocol.Tiered ->
+    if Protocol.is_heuristic_tier inst then
+      Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options
+    else Ec_core.Preserving.Ilp_objective (Protocol.bnb_options config)
 
 let baseline_resolve config tie_seed f' =
   let options = { (Protocol.bnb_options config) with tie_seed = Some tie_seed } in

@@ -1,11 +1,12 @@
 (* FP001 — decisive answers built outside the certification wall.
 
-   [Backend] and [Flow] are the solver-exit layers: every [Sat]/[Unsat]
-   (and every [Feasible]/[Optimal] ILP solution) that leaves them must
-   first pass through [Certify] — the independent re-check that demotes
-   forged or buggy answers to an honest [Unknown] (DESIGN.md §7).  This
-   check flags any toplevel binding in those modules that *constructs*
-   a decisive outcome while referencing nothing from [Certify]: a new
+   [Backend], [Flow] and the [Maxsat]-scoped modules are the
+   solver-exit layers: every [Sat]/[Unsat] (and every
+   [Feasible]/[Optimal] ILP solution) that leaves them must first pass
+   through [Certify] — the independent re-check that demotes forged or
+   buggy answers to an honest [Unknown] (DESIGN.md §7).  This check
+   flags any toplevel binding in those modules that *constructs* a
+   decisive outcome while referencing nothing from [Certify]: a new
    exit path added without the wall.  Pre-certification transforms
    (helpers whose every caller still routes through [Certify]) carry a
    waiver saying so. *)
@@ -13,8 +14,12 @@
 let id = "FP001"
 
 (* Module-name fragments that mark a unit as a solver-exit layer.
-   Matched case-insensitively against the compilation unit name. *)
-let scope_fragments = [ "backend"; "flow" ]
+   Matched case-insensitively against the compilation unit name.
+   "maxsat" covers the core-guided engine's exits: [Ec_sat.Maxsat]
+   itself returns its own verdict type, so any [Outcome]/[Solution]
+   construction in a maxsat-scoped unit is an exit path that must cite
+   Certify. *)
+let scope_fragments = [ "backend"; "flow"; "maxsat" ]
 
 let in_scope modname =
   let m = String.lowercase_ascii modname in

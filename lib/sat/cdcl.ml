@@ -36,6 +36,8 @@ let lit_of_dimacs l = if l > 0 then 2 * (l - 1) else (2 * (-l - 1)) + 1
 
 let dimacs_of_var v = v + 1
 
+let dimacs_of_lit l = if l land 1 = 0 then (l lsr 1) + 1 else -((l lsr 1) + 1)
+
 let neg l = l lxor 1
 
 let var_of l = l lsr 1
@@ -400,7 +402,43 @@ let rec luby i =
   if (1 lsl k) - 1 = i then float_of_int (1 lsl (k - 1))
   else luby (i - (1 lsl (k - 1)) + 1)
 
-type search_result = R_sat | R_unsat | R_unknown of Ec_util.Budget.reason
+(* Final-conflict analysis (MiniSat's analyzeFinal): which assumptions
+   force the failed assumption [a] to be false under the current trail.
+   Walks the trail top-down from the first decision, expanding reasons
+   of marked variables; every decision met this way is an assumption
+   responsible for the failure (branching has not started whenever an
+   assumption fails, so all decisions in range are assumptions).  The
+   returned core — [a] plus the responsible decision literals — is a
+   subset of the assumptions whose conjunction the formula refutes. *)
+let analyze_final s a =
+  let core = ref [ a ] in
+  if s.ndecisions > 0 then begin
+    let v0 = var_of a in
+    s.seen.(v0) <- true;
+    let bottom = s.trail_lim.(0) in
+    for i = s.trail_len - 1 downto bottom do
+      let l = s.trail.(i) in
+      let x = var_of l in
+      if s.seen.(x) then begin
+        (match s.reason.(x) with
+        | None -> core := l :: !core
+        | Some c ->
+          Array.iter
+            (fun q ->
+              let qv = var_of q in
+              if qv <> x && s.level.(qv) > 0 then s.seen.(qv) <- true)
+            c.lits);
+        s.seen.(x) <- false
+      end
+    done;
+    s.seen.(v0) <- false
+  end;
+  !core
+
+(* [R_unsat core]: unsatisfiable, with the responsible assumption
+   literals (internal encoding).  An empty core means the formula is
+   unsatisfiable regardless of assumptions. *)
+type search_result = R_sat | R_unsat of int list | R_unknown of Ec_util.Budget.reason
 
 (* [check] reports the first exhausted budget dimension relative to the
    start of this solve (sessions keep cumulative counters, so the caller
@@ -420,7 +458,7 @@ let search s (options : options) ~check assumptions =
     | Some confl ->
       s.stat_conflicts <- s.stat_conflicts + 1;
       incr conflicts_since_restart;
-      if s.ndecisions = 0 then result := Some R_unsat
+      if s.ndecisions = 0 then result := Some (R_unsat [])
       else begin
         match spent () with
         | Some r -> result := Some (R_unknown r)
@@ -435,10 +473,12 @@ let search s (options : options) ~check assumptions =
         (* Every variable is assigned; the point is a model of the
            clauses, but assumptions not yet re-decided must be checked
            explicitly. *)
-        let violated =
-          Array.exists (fun a -> value_lit s a = 0) assumptions
-        in
-        result := Some (if violated then R_unsat else R_sat)
+        let violated = Array.to_seq assumptions |> Seq.find (fun a -> value_lit s a = 0) in
+        result :=
+          Some
+            (match violated with
+            | Some a -> R_unsat (analyze_final s a)
+            | None -> R_sat)
       end
       else if float_of_int !conflicts_since_restart >= !restart_limit then begin
         (* Restart: back to level 0; assumptions are re-decided. *)
@@ -457,7 +497,9 @@ let search s (options : options) ~check assumptions =
         let a = assumptions.(s.ndecisions) in
         match value_lit s a with
         | 1 -> new_decision_level s (* already true: placeholder level *)
-        | 0 -> result := Some R_unsat (* conflicts with trail: unsat under assumptions *)
+        | 0 ->
+          (* Conflicts with the trail: unsat under assumptions. *)
+          result := Some (R_unsat (analyze_final s a))
         | _ ->
           new_decision_level s;
           enqueue s a None
@@ -531,7 +573,7 @@ let solve_response ?(options = default_options) ?(assumptions = []) formula =
     else
       match search s options ~check assumptions with
       | R_sat -> (Outcome.Sat (extract_assignment s), Ec_util.Budget.Completed)
-      | R_unsat -> (Outcome.Unsat, Ec_util.Budget.Completed)
+      | R_unsat _ -> (Outcome.Unsat, Ec_util.Budget.Completed)
       | R_unknown r -> (Outcome.Unknown r, r)
   in
   let outcome =
@@ -612,9 +654,16 @@ module Session = struct
 
   let add_clauses t clauses = List.iter (add_clause t) clauses
 
-  let solve ?(assumptions = []) ?budget t =
+  type core_response = {
+    outcome : Outcome.t;
+    core : Ec_cnf.Lit.t list;
+    counters : Ec_util.Budget.counters;
+  }
+
+  let solve_with_core ?(assumptions = []) ?budget t =
     t.solves <- t.solves + 1;
-    if t.dead then Outcome.Unsat
+    if t.dead then
+      { outcome = Outcome.Unsat; core = []; counters = Ec_util.Budget.zero }
     else begin
       backtrack t.s 0;
       (* Per-solve gauge: the session's budget is an allowance for each
@@ -636,7 +685,14 @@ module Session = struct
           ~conflicts:(t.s.stat_conflicts - conflicts0)
           ~nodes:(t.s.stat_decisions - nodes0)
       in
-      match search t.s t.options ~check assumptions with
+      let result = search t.s t.options ~check assumptions in
+      let counters =
+        { Ec_util.Budget.zero with
+          spent_conflicts = t.s.stat_conflicts - conflicts0;
+          spent_nodes = t.s.stat_decisions - nodes0;
+          spent_wall_s = Ec_util.Budget.elapsed_s gauge }
+      in
+      match result with
       | R_sat ->
         (* Restrict the capacity-wide model to the named variables. *)
         let full = extract_assignment t.s in
@@ -644,12 +700,14 @@ module Session = struct
         for v = 1 to t.logical_nvars do
           a := Ec_cnf.Assignment.set !a v (Ec_cnf.Assignment.value full v)
         done;
-        Outcome.Sat !a
-      | R_unsat ->
+        { outcome = Outcome.Sat !a; core = []; counters }
+      | R_unsat core ->
         if assumptions = [] then t.dead <- true;
-        Outcome.Unsat
-      | R_unknown r -> Outcome.Unknown r
+        { outcome = Outcome.Unsat; core = List.map dimacs_of_lit core; counters }
+      | R_unknown r -> { outcome = Outcome.Unknown r; core = []; counters }
     end
+
+  let solve ?assumptions ?budget t = (solve_with_core ?assumptions ?budget t).outcome
 
   let solve_count t = t.solves
 end

@@ -85,5 +85,23 @@ module Session : sig
       serve daemon.  Its cancellation flag stays live, so a watchdog
       holding it can stop the solve cooperatively. *)
 
+  type core_response = {
+    outcome : Outcome.t;
+    core : Ec_cnf.Lit.t list;
+        (** on [Unsat] under assumptions: a subset of the assumptions
+            whose conjunction the formula refutes (final-conflict
+            analysis), the failed assumption included.  Empty on any
+            other outcome, and on [Unsat] without assumptions — the
+            formula itself is unsatisfiable. *)
+    counters : Ec_util.Budget.counters;
+        (** this call's spend (conflicts, decisions, wall clock),
+            rebased from the session's cumulative counters *)
+  }
+
+  val solve_with_core :
+    ?assumptions:Ec_cnf.Lit.t list -> ?budget:Ec_util.Budget.t -> t -> core_response
+  (** {!solve} plus the failed-assumption core and per-call counters —
+      the query the core-guided MaxSAT loop ({!Maxsat}) iterates. *)
+
   val solve_count : t -> int
 end

@@ -10,4 +10,13 @@ let add_clauses = Cdcl.Session.add_clauses
 
 let solve ?assumptions ?budget t = Cdcl.Session.solve ?assumptions ?budget t
 
+type core_response = Cdcl.Session.core_response = {
+  outcome : Outcome.t;
+  core : Ec_cnf.Lit.t list;
+  counters : Ec_util.Budget.counters;
+}
+
+let solve_with_core ?assumptions ?budget t =
+  Cdcl.Session.solve_with_core ?assumptions ?budget t
+
 let solve_count = Cdcl.Session.solve_count

@@ -34,5 +34,22 @@ val solve :
     out answers [Unknown], and the session remains usable.  This is
     the serve daemon's per-request watchdog hook. *)
 
+type core_response = Cdcl.Session.core_response = {
+  outcome : Outcome.t;
+  core : Ec_cnf.Lit.t list;
+      (** on [Unsat] under assumptions: a subset of the assumptions the
+          formula refutes (failed assumption included); empty
+          otherwise, and on unconditional [Unsat] *)
+  counters : Ec_util.Budget.counters;  (** this call's spend *)
+}
+
+val solve_with_core :
+  ?assumptions:Ec_cnf.Lit.t list -> ?budget:Ec_util.Budget.t -> t -> core_response
+(** {!solve} plus the failed-assumption core (final-conflict analysis)
+    and per-call counters.  This is the incremental query a
+    core-guided MaxSAT loop iterates: each [Unsat] core names the soft
+    assumptions to relax, and the session keeps its learnt clauses and
+    activities across the calls. *)
+
 val solve_count : t -> int
 (** Number of [solve] calls so far (instrumentation). *)

@@ -62,6 +62,113 @@ let build ~next_var lits =
   let outputs, clauses = tree lits [] in
   { clauses = List.rev clauses; next_var = !counter; outputs = Array.to_list outputs }
 
+(* ---- incremental strengthening (Martins et al. 2014) ------------- *)
+
+(* The same balanced adder tree, but clause generation is lazy in the
+   bound: output variables for every node are allocated eagerly (they
+   are just integers), while the merge clauses for a count [c] are
+   emitted only once some [increase_bound] call needs counts up to [c].
+   Raising the bound later emits exactly the delta — nothing already
+   emitted is ever re-encoded, so an incremental session can keep every
+   clause (and everything learnt from it) across bound iterations.
+
+   Only the upward direction (a_i ∧ b_j → r_{i+j}) is emitted: it makes
+   every output [o_c] {e complete} under unit propagation — true
+   whenever at least [c] inputs are true — which is what enforcing
+   at-most-k by {e assuming} ¬o_{k+1} needs.  The downward clauses only
+   matter when an output is asserted true, which the MaxSAT loop never
+   does; omitting them keeps the delta linear in the bound increase and
+   keeps every emitted clause valid when the bound rises. *)
+
+type tree =
+  | Leaf of Ec_cnf.Lit.t
+  | Node of { outs : Ec_cnf.Lit.t array; left : tree; right : tree }
+
+type incremental = {
+  root : tree;
+  size : int;               (* number of input literals *)
+  mutable cap : int;        (* counts <= cap are UP-complete at every node *)
+  inc_next_var : int;       (* first variable beyond the eager allocation *)
+  mutable emitted : int;    (* clauses emitted so far, for the reuse metric *)
+}
+
+let outs_of = function Leaf l -> [| l |] | Node { outs; _ } -> outs
+
+let incremental ~next_var lits =
+  if lits = [] then invalid_arg "Totalizer.incremental: empty input";
+  List.iter
+    (fun l ->
+      if Ec_cnf.Lit.var l >= next_var then
+        invalid_arg "Totalizer.incremental: next_var collides with input literals")
+    lits;
+  let counter = ref next_var in
+  let fresh () =
+    let v = !counter in
+    incr counter;
+    Ec_cnf.Lit.make v true
+  in
+  let rec build lits =
+    match lits with
+    | [ l ] -> Leaf l
+    | _ ->
+      let n = List.length lits in
+      let left = build (List.filteri (fun i _ -> i < n / 2) lits) in
+      let right = build (List.filteri (fun i _ -> i >= n / 2) lits) in
+      let outs = Array.init n (fun _ -> fresh ()) in
+      Node { outs; left; right }
+  in
+  let root = build lits in
+  { root; size = List.length lits; cap = 0; inc_next_var = !counter; emitted = 0 }
+
+let size t = t.size
+
+let bound t = t.cap - 1
+
+let inc_next_var t = t.inc_next_var
+
+let emitted t = t.emitted
+
+let output t c =
+  if c < 1 || c > t.size then invalid_arg "Totalizer.output: count out of range";
+  (outs_of t.root).(c - 1)
+
+(* Emit, for every node, the upward clauses for count sums in
+   (old_cap, new_cap] — the strengthening delta. *)
+let rec delta ~old_cap ~new_cap node acc =
+  match node with
+  | Leaf _ -> acc
+  | Node { outs; left; right } ->
+    let acc = delta ~old_cap ~new_cap left acc in
+    let acc = delta ~old_cap ~new_cap right acc in
+    let a = outs_of left and b = outs_of right in
+    let na = Array.length a and nb = Array.length b in
+    let n = na + nb in
+    let lo = min old_cap n and hi = min new_cap n in
+    let acc = ref acc in
+    for i = 0 to na do
+      for j = 0 to nb do
+        let c = i + j in
+        if c > lo && c <= hi then begin
+          let premise = ref [ outs.(c - 1) ] in
+          if i >= 1 then premise := Ec_cnf.Lit.negate a.(i - 1) :: !premise;
+          if j >= 1 then premise := Ec_cnf.Lit.negate b.(j - 1) :: !premise;
+          acc := Ec_cnf.Clause.make !premise :: !acc
+        end
+      done
+    done;
+    !acc
+
+let increase_bound t k =
+  if k < 0 then invalid_arg "Totalizer.increase_bound: negative bound";
+  let new_cap = min (k + 1) t.size in
+  if new_cap <= t.cap then []
+  else begin
+    let clauses = delta ~old_cap:t.cap ~new_cap t.root [] in
+    t.cap <- new_cap;
+    t.emitted <- t.emitted + List.length clauses;
+    clauses
+  end
+
 let at_most ~next_var lits k =
   if k < 0 then invalid_arg "Totalizer.at_most: negative bound";
   let n = List.length lits in

@@ -26,3 +26,54 @@ val at_most : next_var:int -> Ec_cnf.Lit.t list -> int -> encoded
 
 val at_least : next_var:int -> Ec_cnf.Lit.t list -> int -> encoded
 (** [build] plus unit clauses forcing outputs [1 .. k] true. *)
+
+(** {2 Incremental strengthening}
+
+    The bound-iteration-friendly form (Martins–Joshi–Manquinho–Lynce,
+    {e Incremental Cardinality Constraints for MaxSAT}, 2014): build
+    the adder tree once, emit merge clauses lazily per bound, and raise
+    the bound by emitting {e only the delta} — never re-encoding what a
+    lower bound already posted.  Every emitted clause stays valid as
+    the bound rises, so an incremental CDCL session keeps them (and all
+    learnt clauses derived from them) across a whole core-guided MaxSAT
+    run.  Only the upward direction is emitted, which makes each
+    output complete under unit propagation — exactly what enforcing
+    at-most-k by {e assuming} [negate (output t (k+1))] requires. *)
+
+type incremental
+
+val incremental : next_var:int -> Ec_cnf.Lit.t list -> incremental
+(** Allocate the adder tree over the literals: output variables for
+    every node are reserved eagerly from [next_var] (see
+    {!inc_next_var}), no clauses yet ({!bound} is [-1]).
+    @raise Invalid_argument on an empty input or a [next_var]
+    collision. *)
+
+val increase_bound : incremental -> int -> Ec_cnf.Clause.t list
+(** [increase_bound t k] returns the clauses that make counts up to
+    [k+1] complete under unit propagation — after posting them,
+    assuming [negate (output t (k+1))] enforces "at most [k] inputs
+    true" (vacuous when [k >= size t]).  Returns [[]] when the current
+    bound already covers [k]: strengthening is monotone and purely
+    additive.  @raise Invalid_argument on a negative bound. *)
+
+val output : incremental -> int -> Ec_cnf.Lit.t
+(** [output t c] (1-based, [c <= size t]) is the unary counter output
+    that is propagation-complete for "at least [c] inputs are true"
+    once {!increase_bound} has covered [c - 1].
+    @raise Invalid_argument out of range. *)
+
+val size : incremental -> int
+(** Number of input literals. *)
+
+val bound : incremental -> int
+(** Largest [k] covered by {!increase_bound} so far; [-1] initially. *)
+
+val inc_next_var : incremental -> int
+(** First variable id beyond the tree's eager allocation — the next
+    fresh variable a caller may use. *)
+
+val emitted : incremental -> int
+(** Total clauses emitted so far — the encoding-count metric that
+    evidences per-bound reuse (a fresh encoding at the same bound would
+    re-emit all of them each iteration). *)

@@ -20,12 +20,19 @@ type t = {
 let fired_metric = Ec_util.Metrics.counter "serve.watchdog.cancelled"
 
 let cancel_entry e =
+  (* [fired] must be written BEFORE the cancel: the atomic store inside
+     [Budget.cancel] is what publishes it to the solving domain, so a
+     solve that observes the cancellation is guaranteed to read
+     [fired = true] when mapping its stop reason to "deadline".  The
+     other order leaves a window where the solve returns Cancelled yet
+     still sees [fired = false]. *)
+  e.fired <- true;
   (* A budget built without its own flag cannot be cancelled; guards in
      the server always carry one, but refusing to raise the shared
      sentinel keeps the module safe for any caller. *)
   (match Budget.cancel e.budget with
-  | () -> e.fired <- true; Ec_util.Metrics.incr fired_metric
-  | exception Invalid_argument _ -> ());
+  | () -> Ec_util.Metrics.incr fired_metric
+  | exception Invalid_argument _ -> e.fired <- false);
   e.active <- false
 
 let sweep t now =

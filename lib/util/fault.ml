@@ -150,6 +150,7 @@ let sites =
     ("heuristic.solve", [ Raise_exn; Burn_budget ]);
     ("heuristic.answer", [ Corrupt_model; Forge_unsat ]);
     ("simplex.solve", [ Raise_exn; Burn_budget ]);
+    ("maxsat.core", [ Corrupt_model ]);
     ("portfolio.racer", [ Raise_exn ]);
     ("portfolio.domain", [ Delay ]);
     ("serve.dispatch", [ Raise_exn; Delay ]);

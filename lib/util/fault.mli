@@ -19,11 +19,15 @@
     - ["bnb.solve"], ["bnb.answer"]
     - ["heuristic.solve"], ["heuristic.answer"]
     - ["simplex.solve"]
+    - ["maxsat.core"]
     - ["portfolio.racer"], ["portfolio.domain"]
     - ["serve.dispatch"], ["serve.session"]
 
     [*.solve] sites honor [Raise_exn] and [Burn_budget]; [*.answer]
     sites honor [Corrupt_model] and [Forge_unsat].
+    ["maxsat.core"] ([Corrupt_model]) rewrites an unsat core reported
+    inside the core-guided MaxSAT loop — the drill proving a corrupted
+    core degrades to an honest Unknown instead of a wrong optimum.
     ["portfolio.racer"] ([Raise_exn]) kills one racer at its start;
     ["portfolio.domain"] ([Delay]) stalls a racer's domain before it
     begins — the chaos suite uses both to prove a crashed or slow

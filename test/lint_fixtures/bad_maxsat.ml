@@ -1,0 +1,8 @@
+(* FP001 fixture: a *maxsat*-named module leaking a decisive Unsat
+   without crossing the Certify wall — the core-guided engine's exits
+   are in scope just like Backend's. *)
+
+let harden (core : Ec_cnf.Lit.t list) =
+  match core with
+  | [] -> Ec_sat.Outcome.Unsat
+  | _ :: _ -> Ec_sat.Outcome.Unknown Ec_util.Budget.Cancelled

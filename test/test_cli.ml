@@ -143,6 +143,30 @@ let tests =
               (contains err "--trace"));
         Alcotest.test_case "solve --trace/--metrics artifacts" `Quick
           test_trace_metrics_happy_path ] );
+    ( "cli.engine-validation",
+      [ Alcotest.test_case "preserve --engine bogus" `Quick
+          (fun () ->
+            with_tiny_cnf (fun cnf ->
+                let code, err = run_ecsat ("preserve --engine bogus " ^ cnf) in
+                Alcotest.(check int) "preserve rejects an unknown engine" 2 code;
+                Alcotest.(check bool) "diagnostic lists the choices" true
+                  (contains err "maxsat")));
+        Alcotest.test_case "tables --engine bogus" `Quick
+          (fun () ->
+            let code, err = run_ecsat "tables --table 3 --engine bogus" in
+            Alcotest.(check int) "tables rejects an unknown engine" 2 code;
+            Alcotest.(check bool) "diagnostic lists the choices" true
+              (contains err "maxsat"));
+        Alcotest.test_case "preserve --engine maxsat solves" `Quick
+          (fun () ->
+            with_tiny_cnf (fun cnf ->
+                let code, _ = run_ecsat ("preserve --engine maxsat " ^ cnf) in
+                Alcotest.(check int) "core-guided engine answers SAT" 10 code));
+        Alcotest.test_case "preserve --engine ilp-iterative solves" `Quick
+          (fun () ->
+            with_tiny_cnf (fun cnf ->
+                let code, _ = run_ecsat ("preserve --engine ilp-iterative " ^ cnf) in
+                Alcotest.(check int) "iterative baseline answers SAT" 10 code)) ] );
     ( "cli.serve-validation",
       [ Alcotest.test_case "missing socket directory" `Quick
           (reject_serve "--socket /nonexistent-ecsat-dir/d.sock" "--socket");

@@ -227,28 +227,29 @@ let brute_best_preserved f reference =
     (fun best a -> max best (A.preserved_count ~old_assignment:reference a))
     (-1) models
 
+let all_preserving_engines =
+  [ Ec_core.Preserving.default_engine;
+    Ec_core.Preserving.Ilp_iterative Ec_ilpsolver.Bnb.default_options;
+    Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options;
+    Ec_core.Preserving.Sat_maxsat Ec_sat.Maxsat.default_options ]
+
 let prop_preserving_engines_optimal =
-  QCheck.Test.make ~name:"preserving: both engines match brute force" ~count:40
+  QCheck.Test.make ~name:"preserving: all four engines match brute force" ~count:40
     (QCheck.make ~print:F.to_string (formula_gen ~max_vars:5 ~max_clauses:10))
     (fun f ->
       match Ec_sat.Cdcl.solve_formula f with
       | O.Unsat | O.Unknown _ -> QCheck.assume_fail ()
       | O.Sat reference ->
         let best = brute_best_preserved f reference in
-        let r_ilp = Ec_core.Preserving.resolve f ~reference in
-        let r_sat =
-          Ec_core.Preserving.resolve
-            ~engine:(Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options) f
-            ~reference
-        in
-        r_ilp.Ec_core.Preserving.preserved = best
-        && r_sat.Ec_core.Preserving.preserved = best
-        && (match r_ilp.Ec_core.Preserving.solution with
-           | Some a -> A.satisfies a f
-           | None -> false)
-        && (match r_sat.Ec_core.Preserving.solution with
-           | Some a -> A.satisfies a f
-           | None -> false))
+        List.for_all
+          (fun engine ->
+            let r = Ec_core.Preserving.resolve ~engine f ~reference in
+            r.Ec_core.Preserving.preserved = best
+            && r.Ec_core.Preserving.optimal
+            && (match r.Ec_core.Preserving.solution with
+               | Some a -> A.satisfies a f
+               | None -> false))
+          all_preserving_engines)
 
 let test_preserving_paper_example () =
   (* §7: F plus two clauses; best preservation is 4 of 5 *)
@@ -274,8 +275,7 @@ let test_preserving_pins () =
       match r.Ec_core.Preserving.solution with
       | Some a -> check Alcotest.bool "pin held" true (A.value a 1 = A.True)
       | None -> Alcotest.fail "feasible with pin")
-    [ Ec_core.Preserving.default_engine;
-      Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options ];
+    all_preserving_engines;
   (* contradictory pin: v1 pinned but formula forces it *)
   let g = F.of_lists ~num_vars:1 [ [ 1 ] ] in
   let ref_neg = A.of_list 1 [ (1, false) ] in
@@ -293,8 +293,7 @@ let test_preserving_dc_pin () =
       match r.Ec_core.Preserving.solution with
       | Some a -> check Alcotest.bool "v2 stays DC" true (A.value a 2 = A.Dc)
       | None -> Alcotest.fail "feasible")
-    [ Ec_core.Preserving.default_engine;
-      Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options ]
+    all_preserving_engines
 
 (* ---- Backend ---- *)
 

@@ -72,6 +72,54 @@ let test_session_per_call_budget () =
   check Alcotest.bool "still alive after the capped call" true
     (O.is_sat (I.solve s))
 
+(* solve_with_core: the MaxSAT-facing query.  The core must be a
+   subset of the assumptions, itself sufficient for unsatisfiability,
+   and assumption-unsat must leave the session alive; only an
+   unconditional Unsat (no assumptions) kills it, with an empty core. *)
+let test_solve_with_core () =
+  let s = I.create (F.of_lists ~num_vars:3 [ [ 1; 2 ]; [ -2; 3 ] ]) in
+  let r = I.solve_with_core ~assumptions:[ 1 ] s in
+  (match r.I.outcome with O.Sat _ -> () | o -> Alcotest.failf "sat expected, got %s" (O.to_string o));
+  check Alcotest.(list int) "no core on sat" [] r.I.core;
+  let asm = [ -1; -2; 3 ] in
+  let r = I.solve_with_core ~assumptions:asm s in
+  (match r.I.outcome with
+  | O.Unsat -> ()
+  | o -> Alcotest.failf "unsat expected, got %s" (O.to_string o));
+  check Alcotest.bool "core nonempty" true (r.I.core <> []);
+  check Alcotest.bool "core within assumptions" true
+    (List.for_all (fun l -> List.mem l asm) r.I.core);
+  (* the core alone must reproduce the refutation *)
+  (match (I.solve_with_core ~assumptions:r.I.core s).I.outcome with
+  | O.Unsat -> ()
+  | o -> Alcotest.failf "core insufficient: %s" (O.to_string o));
+  check Alcotest.bool "session survives assumption-unsat" true
+    (O.is_sat (I.solve s));
+  (* unconditional unsat: empty core and a dead session *)
+  I.add_clause s (C.make [ -1 ]);
+  I.add_clause s (C.make [ -2 ]);
+  let r = I.solve_with_core s in
+  (match r.I.outcome with
+  | O.Unsat -> ()
+  | o -> Alcotest.failf "hard unsat expected, got %s" (O.to_string o));
+  check Alcotest.(list int) "no core without assumptions" [] r.I.core;
+  check Alcotest.string "session now dead" "unsat" (O.to_string (I.solve s))
+
+(* A cancelled per-call budget reaches solve_with_core too: Unknown,
+   no core, live session — the MaxSAT loop turns this into Stopped. *)
+let test_solve_with_core_budget () =
+  let s = I.create (F.of_lists ~num_vars:2 [ [ 1; 2 ] ]) in
+  let cancelled = Atomic.make true in
+  let r =
+    I.solve_with_core ~assumptions:[ -1 ]
+      ~budget:(Ec_util.Budget.create ~cancel:cancelled ()) s
+  in
+  (match r.I.outcome with
+  | O.Unknown Ec_util.Budget.Cancelled -> ()
+  | o -> Alcotest.failf "cancelled expected, got %s" (O.to_string o));
+  check Alcotest.(list int) "no core on unknown" [] r.I.core;
+  check Alcotest.bool "alive after cancelled call" true (O.is_sat (I.solve s))
+
 let test_session_empty_clause () =
   let s = I.create (F.of_lists ~num_vars:1 [ [ 1 ] ]) in
   I.add_clause s (C.make []);
@@ -124,5 +172,7 @@ let tests =
         Alcotest.test_case "variable growth + rebuild" `Quick test_session_var_growth;
         Alcotest.test_case "assumptions" `Quick test_session_assumptions;
         Alcotest.test_case "per-call budget" `Quick test_session_per_call_budget;
+        Alcotest.test_case "solve_with_core" `Quick test_solve_with_core;
+        Alcotest.test_case "solve_with_core budget" `Quick test_solve_with_core_budget;
         Alcotest.test_case "empty clause" `Quick test_session_empty_clause;
         qtest prop_session_equals_scratch ] ) ]

@@ -57,7 +57,7 @@ let test_exit_code () =
   Alcotest.(check int) "fixtures gate with exit 1" 1
     (Ec_lint.Lint.exit_code (Lazy.force report));
   Alcotest.(check bool) "scan found the fixture units" true
-    ((Lazy.force report).Ec_lint.Lint.units_scanned >= 6)
+    ((Lazy.force report).Ec_lint.Lint.units_scanned >= 7)
 
 let test_check_filter () =
   let solo = Ec_lint.Lint.run ~checks:[ "ds002" ] [ fixtures_dir ] in
@@ -98,6 +98,8 @@ let () =
           Alcotest.test_case "BP001 bad" `Quick (assert_exactly "bad_bp001.ml" "BP001");
           Alcotest.test_case "EX001 bad" `Quick (assert_exactly "bad_ex001.ml" "EX001");
           Alcotest.test_case "FP001 bad" `Quick (assert_exactly "bad_backend.ml" "FP001");
+          Alcotest.test_case "FP001 maxsat bad" `Quick
+            (assert_exactly "bad_maxsat.ml" "FP001");
           Alcotest.test_case "DS001 waived" `Quick test_waived_fixture ] );
       ( "driver",
         [ Alcotest.test_case "exit code" `Quick test_exit_code;

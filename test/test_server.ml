@@ -415,6 +415,8 @@ let test_daemon_chaos_containment action degraded_marker () =
   let sick =
     List.filter (fun l -> contains l {|"session":"sick"|}) chaos_lines
   in
+  if not (List.exists (fun l -> contains l degraded_marker) sick) then
+    List.iter (fun l -> Printf.eprintf "SICK: %s\n%!" l) sick;
   check Alcotest.bool
     (Printf.sprintf "faulted session shows %s" degraded_marker)
     true

@@ -76,8 +76,58 @@ let prop_agrees_with_sequential =
           a = b)
         (patterns 1 []))
 
+(* Satellite property for the core-guided MaxSAT engine: a totalizer
+   strengthened incrementally along a random (non-monotone, repeating)
+   bound schedule is equivalent — at every covered bound k — to a
+   fresh [at_most] encoding of k, and only ever emits delta clauses:
+   [emitted] equals the clauses handed back so far, and re-covering a
+   bound emits nothing. *)
+let prop_incremental_equals_fresh =
+  QCheck.Test.make ~name:"incremental strengthening = fresh encoding at every bound"
+    ~count:60
+    QCheck.(pair (int_range 1 5) (list_of_size (QCheck.Gen.int_range 1 4) (int_range 0 5)))
+    (fun (n, schedule) ->
+      let lits = List.init n (fun i -> i + 1) in
+      let tot = T.incremental ~next_var:(n + 1) lits in
+      let acc = ref [] in
+      let ok = ref true in
+      (* all 2^n full input patterns, as assumption lists *)
+      let rec patterns i row =
+        if i > n then [ row ]
+        else patterns (i + 1) (i :: row) @ patterns (i + 1) (-i :: row)
+      in
+      let all_patterns = patterns 1 [] in
+      List.iter
+        (fun k ->
+          acc := !acc @ T.increase_bound tot k;
+          (* delta-only: emitted tracks exactly what was handed back,
+             and asking for an already-covered bound adds nothing *)
+          if T.emitted tot <> List.length !acc then ok := false;
+          if T.increase_bound tot (T.bound tot) <> [] then ok := false;
+          let c = min (T.bound tot) (n - 1) in
+          if c >= 0 then begin
+            let f_inc = F.create ~num_vars:(T.inc_next_var tot - 1) !acc in
+            let fresh = T.at_most ~next_var:(n + 1) lits c in
+            let f_fresh = F.create ~num_vars:(max n (fresh.T.next_var - 1)) fresh.T.clauses in
+            let cap = Ec_cnf.Lit.negate (T.output tot (c + 1)) in
+            List.iter
+              (fun pat ->
+                let count = List.length (List.filter (fun l -> l > 0) pat) in
+                let inc_sat =
+                  O.is_sat (fst (Ec_sat.Cdcl.solve ~assumptions:(cap :: pat) f_inc))
+                in
+                let fresh_sat =
+                  O.is_sat (fst (Ec_sat.Cdcl.solve ~assumptions:pat f_fresh))
+                in
+                if inc_sat <> fresh_sat || fresh_sat <> (count <= c) then ok := false)
+              all_patterns
+          end)
+        schedule;
+      !ok)
+
 let tests =
   [ ( "sat.totalizer",
       [ Alcotest.test_case "unary outputs count" `Quick test_outputs_count;
         Alcotest.test_case "edge cases" `Quick test_edges;
-        qtest prop_agrees_with_sequential ] ) ]
+        qtest prop_agrees_with_sequential;
+        qtest prop_incremental_equals_fresh ] ) ]
