@@ -177,6 +177,10 @@ let run_portfolio args config =
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" args.jobs);
   Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" cores);
+  (* cores_online is what CI keys its speedup gates on: on a 1-core
+     container a jobs>1 run has no parallelism underneath and the
+     speedup column is noise, so the gate must skip itself. *)
+  Buffer.add_string buf (Printf.sprintf "  \"cores_online\": %d,\n" cores);
   Buffer.add_string buf
     (Printf.sprintf "  \"scale\": %g,\n  \"trials\": %d,\n"
        config.Ec_harness.Protocol.scale config.trials);
@@ -342,6 +346,8 @@ let run_maxsat args config =
   Buffer.add_string buf
     (Printf.sprintf "  \"scale\": %g,\n  \"trials\": %d,\n  \"seed\": %d,\n"
        config.Ec_harness.Protocol.scale config.trials config.Ec_harness.Protocol.seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cores_online\": %d,\n" (Domain.recommended_domain_count ()));
   Buffer.add_string buf "  \"rows\": [\n";
   List.iteri
     (fun i r ->

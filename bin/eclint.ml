@@ -3,10 +3,12 @@
 
      eclint [PATH ...]           scan .cmt files (dirs searched recursively)
      eclint --format json ...    machine-readable report
+     eclint --waivers ...        waiver inventory + staleness audit
      eclint --list-checks        the check catalog
 
-   Exit codes: 0 clean (waived findings allowed), 1 unwaived findings,
-   2 usage error.  Waive a deliberate exception in source with
+   Exit codes: 0 clean (waived findings allowed), 1 unwaived findings
+   (or stale waivers under --waivers), 2 usage error.  Waive a
+   deliberate exception in source with
    (* eclint: allow DS001 — rationale *) on, or just above, the
    flagged line. *)
 
@@ -30,19 +32,48 @@ let checks_arg =
   Arg.(value & opt_all string [] & info [ "check" ] ~docv:"ID" ~doc)
 
 let warn_arg =
-  let doc = "Downgrade this check to a non-gating warning (repeatable)." in
+  let doc =
+    "Downgrade this check to a non-gating warning (repeatable; $(b,all) \
+     downgrades every check).  Under $(b,--waivers), also stops the named \
+     checks' stale waivers from gating."
+  in
   Arg.(value & opt_all string [] & info [ "warn" ] ~docv:"ID" ~doc)
 
 let list_checks_arg =
   let doc = "Print the check catalog and exit." in
   Arg.(value & flag & info [ "list-checks" ] ~doc)
 
+let waivers_arg =
+  let doc =
+    "List every source waiver with its rationale and audit staleness: a \
+     waiver whose check no longer fires on its span exits 1 (unless the \
+     check is in $(b,--warn))."
+  in
+  Arg.(value & flag & info [ "waivers" ] ~doc)
+
+let cache_arg =
+  let doc =
+    "Summary-cache file keyed by $(b,.cmt) digests; unchanged units skip \
+     effect-summary extraction.  $(b,none) disables caching."
+  in
+  Arg.(value & opt string ".eclint.cache" & info [ "cache" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write scan metrics (lint.duration_s, finding counts) as a metrics \
+     snapshot to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let usage_error = 2
 
-let validate_ids ids =
+let validate_ids ?(extra = []) ids =
   List.iter
     (fun id ->
-      if Ec_lint.Registry.find id = None then begin
+      if
+        Ec_lint.Registry.find id = None
+        && not (List.mem (String.lowercase_ascii id) extra)
+      then begin
         Printf.eprintf "eclint: unknown check %S (known: %s)\n" id
           (String.concat ", "
              (List.map (fun c -> c.Ec_lint.Registry.id) Ec_lint.Registry.all));
@@ -50,7 +81,7 @@ let validate_ids ids =
       end)
     ids
 
-let run paths format checks warn list_checks =
+let run paths format checks warn list_checks waivers cache metrics_file =
   if list_checks then begin
     List.iter
       (fun (c : Ec_lint.Registry.check) ->
@@ -62,7 +93,7 @@ let run paths format checks warn list_checks =
   end
   else begin
     validate_ids checks;
-    validate_ids warn;
+    validate_ids ~extra:[ "all" ] warn;
     List.iter
       (fun p ->
         if not (Sys.file_exists p) then begin
@@ -70,11 +101,15 @@ let run paths format checks warn list_checks =
           exit usage_error
         end)
       paths;
+    let t0 = Unix.gettimeofday () in
     let report =
       Ec_lint.Lint.run
         ?checks:(match checks with [] -> None | ids -> Some ids)
-        ~warn paths
+        ~warn
+        ?cache_file:(if cache = "none" then None else Some cache)
+        paths
     in
+    let duration = Unix.gettimeofday () -. t0 in
     if report.Ec_lint.Lint.units_scanned = 0 then begin
       Printf.eprintf
         "eclint: no .cmt implementation units under: %s (build first: dune \
@@ -82,17 +117,57 @@ let run paths format checks warn list_checks =
         (String.concat " " paths);
       exit usage_error
     end;
-    print_string
-      (match format with
-      | `Human -> Ec_lint.Lint.render_human report
-      | `Json -> Ec_lint.Lint.render_json report);
-    Ec_lint.Lint.exit_code report
+    (match metrics_file with
+    | None -> ()
+    | Some path ->
+      Ec_util.Metrics.enable ();
+      Ec_util.Metrics.set (Ec_util.Metrics.gauge "lint.duration_s") duration;
+      Ec_util.Metrics.set
+        (Ec_util.Metrics.gauge "lint.units")
+        (float_of_int report.Ec_lint.Lint.units_scanned);
+      Ec_util.Metrics.add
+        (Ec_util.Metrics.counter "lint.findings")
+        (List.length report.Ec_lint.Lint.findings);
+      Ec_util.Metrics.add
+        (Ec_util.Metrics.counter "lint.errors")
+        (List.length (Ec_lint.Lint.unwaived_errors report));
+      Ec_util.Metrics.add
+        (Ec_util.Metrics.counter "lint.waived")
+        (List.length
+           (List.filter
+              (fun (f : Ec_lint.Finding.t) -> f.Ec_lint.Finding.waived)
+              report.Ec_lint.Lint.findings));
+      Ec_util.Metrics.add
+        (Ec_util.Metrics.counter "lint.stale_waivers")
+        (List.length (Ec_lint.Lint.stale_waivers report));
+      Ec_util.Metrics.write path);
+    if waivers then begin
+      print_string (Ec_lint.Lint.render_waivers report);
+      let warn = List.map String.uppercase_ascii warn in
+      let gating =
+        List.filter
+          (fun (w : Ec_lint.Lint.waiver_status) ->
+            not (List.mem "ALL" warn)
+            && List.exists (fun c -> not (List.mem c warn)) w.Ec_lint.Lint.w_stale)
+          (Ec_lint.Lint.stale_waivers report)
+      in
+      if gating = [] then 0 else 1
+    end
+    else begin
+      print_string
+        (match format with
+        | `Human -> Ec_lint.Lint.render_human report
+        | `Json -> Ec_lint.Lint.render_json report);
+      Ec_lint.Lint.exit_code report
+    end
   end
 
 let () =
   let doc = "typedtree-based domain-safety and solver-protocol lint" in
-  let info = Cmd.info "eclint" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "eclint" ~version:"2.0.0" ~doc in
   let term =
-    Term.(const run $ paths_arg $ format_arg $ checks_arg $ warn_arg $ list_checks_arg)
+    Term.(
+      const run $ paths_arg $ format_arg $ checks_arg $ warn_arg
+      $ list_checks_arg $ waivers_arg $ cache_arg $ metrics_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

@@ -1,124 +1,62 @@
-(* BP001 — engine entry points that arm a budget but never poll it.
+(* BP001 — code that arms a budget but can never reach the poll.
 
    Every engine accepts an [Ec_util.Budget.t] and must observe it
    cooperatively: [Budget.start] arms a per-solve gauge and
    [Budget.check] is the poll that makes deadlines, conflict caps and
-   portfolio cancellation actually stop the solve.  An engine that
-   arms a gauge (or exposes a [solve*] entry point) without a
-   reachable [Budget.check] runs to completion no matter what the
-   caller asked for — in a portfolio race that is a domain that never
-   observes its cancellation flag.
+   portfolio cancellation actually stop the solve.  A binding from
+   which a gauge is armed but no [Budget.check] is reachable runs to
+   completion no matter what the caller asked for — in a portfolio
+   race that is a domain that never observes its cancellation flag.
 
-   Scope: modules that call [Budget.start] anywhere (the engines
-   proper).  Within such a module the check computes a module-local
-   call graph over toplevel bindings (including bindings inside
-   submodules, and everything lexically nested in each binding) and
-   requires every [solve*]-named binding and every gauge-arming
-   binding to reach a [Budget.check] call through it.  Helpers that
-   poll through a function *argument* (e.g. a [~check] callback) are
-   credited to the caller that built the callback, which is where the
-   gauge lives. *)
+   This check asks the whole-program call graph, not a module-local
+   fixpoint: a binding is flagged when
+
+     - it can reach a [Budget.start] but cannot reach a
+       [Budget.check] — arming through a cross-unit helper no longer
+       hides the gauge, and polling through a cross-unit delegate is
+       properly credited (the old "non-looping [solve*] wrapper"
+       carve-out is gone: delegating wrappers now reach the poll
+       through their callees and exonerate themselves); or
+     - it is a [solve*]-named entry point whose body loops and no
+       poll is reachable — a spinning solve under a budget it never
+       reads, whether or not it armed the gauge itself.
+
+   Polling through a function argument (a [~check] callback) is still
+   credited lexically to whoever builds the callback, which is where
+   the gauge lives. *)
 
 let id = "BP001"
 
-let start_paths = [ "Budget.start" ]
+let short_name fn =
+  match String.rindex_opt fn '.' with
+  | Some i -> String.sub fn (i + 1) (String.length fn - i - 1)
+  | None -> fn
 
-let check_paths = [ "Budget.check" ]
+let is_solve_named fn =
+  let n = String.lowercase_ascii (short_name fn) in
+  String.length n >= 5 && String.sub n 0 5 = "solve"
 
-type node = {
-  name : string option;
-  loc : Location.t;
-  arms : bool;               (* lexically contains Budget.start *)
-  polls : bool;              (* lexically contains Budget.check *)
-  loops : bool;              (* contains while/for or a recursive let *)
-  refs : string list;        (* same-unit toplevel bindings referenced *)
-}
-
-let expr_loops e =
-  let found = ref false in
-  let it =
-    { Tast_iterator.default_iterator with
-      expr =
-        (fun it e ->
-          (match e.Typedtree.exp_desc with
-          | Typedtree.Texp_while _ | Typedtree.Texp_for _
-          | Typedtree.Texp_let (Asttypes.Recursive, _, _) -> found := true
-          | _ -> ());
-          Tast_iterator.default_iterator.expr it e) }
-  in
-  it.expr it e;
-  !found
-
-let check _ctx (u : Unit_info.t) =
-  let in_scope = ref false in
-  Tt_util.iter_paths_in_structure u.Unit_info.structure (fun p _ ->
-      if Tt_util.path_is start_paths p then in_scope := true);
-  if not !in_scope then []
-  else begin
-    (* Collect one node per toplevel binding. *)
-    let nodes = ref [] in
-    Tt_util.iter_toplevel_bindings u.Unit_info.structure (fun ~name vb ->
-        let arms = ref false and polls = ref false and refs = ref [] in
-        Tt_util.iter_paths_in_expr vb.Typedtree.vb_expr (fun p _ ->
-            if Tt_util.path_is start_paths p then arms := true;
-            if Tt_util.path_is check_paths p then polls := true;
-            match p with
-            | Path.Pident id -> refs := Ident.name id :: !refs
-            | _ -> ());
-        nodes :=
-          { name; loc = vb.Typedtree.vb_loc; arms = !arms; polls = !polls;
-            loops = expr_loops vb.Typedtree.vb_expr; refs = !refs }
-          :: !nodes);
-    let nodes = List.rev !nodes in
-    (* Fixpoint: a binding polls if it contains Budget.check or calls a
-       same-unit binding that polls.  Name-keyed, which is exact for
-       references to toplevel lets (they are [Pident]s) and at worst
-       over-credits a shadowed name — a miss here is a false negative,
-       never a false positive. *)
-    let polls_tbl = Hashtbl.create 32 in
-    List.iter
-      (fun n -> match n.name with
-        | Some nm -> if n.polls then Hashtbl.replace polls_tbl nm ()
-        | None -> ())
-      nodes;
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      List.iter
-        (fun n ->
-          match n.name with
-          | Some nm when not (Hashtbl.mem polls_tbl nm) ->
-            if List.exists (Hashtbl.mem polls_tbl) n.refs then begin
-              Hashtbl.replace polls_tbl nm ();
-              changed := true
-            end
-          | _ -> ())
-        nodes
-    done;
-    let effectively_polls n =
-      n.polls
-      || (match n.name with Some nm -> Hashtbl.mem polls_tbl nm | None -> false)
-      || List.exists (Hashtbl.mem polls_tbl) n.refs
-    in
+let check ctx (u : Unit_info.t) =
+  match Ctx.summary_of ctx u.Unit_info.modname with
+  | None -> []
+  | Some s ->
     List.filter_map
-      (fun n ->
-        let is_solve =
-          match n.name with
-          | Some nm ->
-            String.length nm >= 5 && String.lowercase_ascii (String.sub nm 0 5) = "solve"
-          | None -> false
+      (fun (f : Summary.func) ->
+        let polls = Ctx.polls_ip ctx f.Summary.fn_name in
+        let arms = Ctx.arms_ip ctx f.Summary.fn_name in
+        let flagged =
+          (not polls)
+          && (arms || (is_solve_named f.Summary.fn_name && f.Summary.loops))
         in
-        (* A [solve*] binding with no loop of its own is a delegating
-           wrapper or an accessor; only looping entry points (and
-           anything that arms a gauge) must reach the poll. *)
-        if (n.arms || (is_solve && n.loops)) && not (effectively_polls n) then
+        if flagged then
           Some
-            (Finding.make ~check:id ~severity:Finding.Error ~loc:n.loc
+            (Finding.make ~check:id ~severity:Finding.Error ~loc:f.Summary.fn_loc
                (Printf.sprintf
-                  "%s %s a Budget but never reaches Budget.check: deadlines, \
-                   caps and portfolio cancellation cannot stop it"
-                  (match n.name with Some nm -> "`" ^ nm ^ "'" | None -> "binding")
-                  (if n.arms then "arms" else "is a solve entry point under")))
+                  "`%s' %s but no Budget.check is reachable from it in the \
+                   whole-program call graph: deadlines, caps and portfolio \
+                   cancellation cannot stop it"
+                  (short_name f.Summary.fn_name)
+                  (if arms then "arms a Budget (possibly through a callee)"
+                   else "is a looping solve entry point")))
         else None)
-      nodes
-  end
+      s.Summary.funcs

@@ -1,0 +1,69 @@
+(* Digest-keyed summary cache.
+
+   Extracted {!Summary.t} values are plain data, so they can be
+   marshalled to a side file and reused across runs: a unit whose
+   [.cmt] digest is unchanged skips summary extraction entirely,
+   keeping [dune build @lint] incremental as the tree grows.  The
+   cache is strictly an accelerator — any read error, version mismatch
+   or stale digest falls back to re-extraction, and a scan without a
+   cache path behaves identically. *)
+
+(* Bump when {!Summary.func} changes shape: Marshal gives no structural
+   checking, so the version string is the only guard. *)
+let version = "eclint-summary-cache-4"
+
+type entry = {
+  digest : string;            (* Digest.file of the .cmt *)
+  summary : Summary.t;
+}
+
+type t = {
+  path : string;
+  entries : (string, entry) Hashtbl.t;   (* keyed by cmt path *)
+  mutable dirty : bool;
+}
+
+let load path =
+  let entries =
+    match open_in_bin path with
+    | exception Sys_error _ -> Hashtbl.create 64
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match
+            let v : string = Marshal.from_channel ic in
+            if v <> version then raise Exit;
+            (Marshal.from_channel ic : (string, entry) Hashtbl.t)
+          with
+          | tbl -> tbl
+          (* eclint: allow EX001 — a corrupt/stale cache file is not an
+             error, it just means a cold scan *)
+          | exception _ -> Hashtbl.create 64)
+  in
+  { path; entries; dirty = false }
+
+let save t =
+  if t.dirty then
+    match open_out_bin t.path with
+    | exception Sys_error _ -> ()
+    | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          Marshal.to_channel oc version [];
+          Marshal.to_channel oc t.entries [])
+
+(* The summary for [u], from cache when the [.cmt] digest matches. *)
+let summary t (u : Unit_info.t) =
+  let path = u.Unit_info.cmt_path in
+  let digest = try Digest.file path with Sys_error _ -> "" in
+  match Hashtbl.find_opt t.entries path with
+  | Some e when e.digest = digest && digest <> "" -> e.summary
+  | _ ->
+    let s = Summary.of_unit u in
+    if digest <> "" then begin
+      Hashtbl.replace t.entries path { digest; summary = s };
+      t.dirty <- true
+    end;
+    s

@@ -1,0 +1,168 @@
+(* The cross-unit call graph over {!Summary.func} nodes.
+
+   Nodes are canonical "Short.binding" names; an edge f -> g means f's
+   body references g (a sound over-approximation of "may call": a
+   reference that is stored or partially applied still counts).
+   Everything the whole-program checks need reduces to forward or
+   backward reachability over this graph:
+
+     - BP001: does a binding reach [Budget.check]?
+     - DS001: which units hold code reachable from the closures handed
+       to the domain pool?
+     - LK001: which locks does a callee (transitively) acquire?
+     - RS001: does a callee (transitively) release one of its params?
+
+   All closures are computed set-at-a-time with a worklist, so a scan
+   costs O(nodes + edges) per query family, not per node. *)
+
+type t = {
+  funcs : (string, Summary.func) Hashtbl.t;     (* every alias -> node *)
+  owner : (string, string) Hashtbl.t;           (* fn_name -> unit modname *)
+  fwd : (string, string list) Hashtbl.t;        (* canonical edges *)
+  rev : (string, string list) Hashtbl.t;
+}
+
+let find t name = Hashtbl.find_opt t.funcs name
+
+let owner t name = Hashtbl.find_opt t.owner name
+
+let build (summaries : Summary.t list) =
+  let funcs = Hashtbl.create 256 and owner = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Summary.t) ->
+      List.iter
+        (fun (f : Summary.func) ->
+          List.iter
+            (fun alias -> Hashtbl.replace funcs alias f)
+            (f.Summary.fn_name :: f.Summary.fn_aliases);
+          Hashtbl.replace owner f.Summary.fn_name s.Summary.s_unit)
+        s.Summary.funcs)
+    summaries;
+  let fwd = Hashtbl.create 256 and rev = Hashtbl.create 256 in
+  let add tbl k v =
+    Hashtbl.replace tbl k (v :: (try Hashtbl.find tbl k with Not_found -> []))
+  in
+  List.iter
+    (fun (s : Summary.t) ->
+      List.iter
+        (fun (f : Summary.func) ->
+          List.iter
+            (fun callee ->
+              match Hashtbl.find_opt funcs callee with
+              | Some g when g.Summary.fn_name <> f.Summary.fn_name ->
+                add fwd f.Summary.fn_name g.Summary.fn_name;
+                add rev g.Summary.fn_name f.Summary.fn_name
+              | _ -> ())
+            f.Summary.calls)
+        s.Summary.funcs)
+    summaries;
+  { funcs; owner; fwd; rev }
+
+(* Closure of [seeds] under [adj], seeds included. *)
+let closure adj seeds =
+  let seen = Hashtbl.create 64 in
+  let rec visit n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      List.iter visit (try Hashtbl.find adj n with Not_found -> [])
+    end
+  in
+  List.iter visit seeds;
+  seen
+
+(* Canonical names of the nodes satisfying [pred]. *)
+let nodes_where t pred =
+  Hashtbl.fold
+    (fun name f acc ->
+      if name = f.Summary.fn_name && pred f then name :: acc else acc)
+    t.funcs []
+
+(* All nodes with a path TO a node satisfying [pred] (those nodes
+   included): backward reachability, e.g. "reaches a Budget.check". *)
+let reaches t pred = closure t.rev (nodes_where t pred)
+
+(* All nodes reachable FROM the seeds (seeds included). *)
+let reachable_from t seeds = closure t.fwd seeds
+
+(* Ancestors of the nodes satisfying [pred], then everything those
+   ancestors reach — DS001's raced set: the functions that hand
+   closures to the pool, whoever calls them (they built the closures),
+   and everything any of that code can run. *)
+let raced_set t pred =
+  let anc = reaches t pred in
+  reachable_from t (Hashtbl.fold (fun k () acc -> k :: acc) anc [])
+
+(* Transitive lock-acquisition sets, per node, with the witness chain
+   to one acquisition site: [acquired_via t f] maps each lock id
+   (transitively) taken under a call to [f] to the call chain
+   [f; ...; g] where [g] performs the [Mutex.lock].  Param-locked
+   wrappers contribute nothing here: their lock is named at each call
+   site via [locks_params]. *)
+let transitive_locks t =
+  let memo : (string, (string * string list) list) Hashtbl.t = Hashtbl.create 64 in
+  let rec go visiting name =
+    match Hashtbl.find_opt memo name with
+    | Some r -> r
+    | None ->
+      if List.mem name visiting then []
+      else begin
+        let visiting = name :: visiting in
+        let own =
+          match find t name with
+          | Some f -> List.map (fun l -> (l, [ name ])) f.Summary.acquires
+          | None -> []
+        in
+        let via_calls =
+          List.concat_map
+            (fun callee ->
+              List.map (fun (l, chain) -> (l, name :: chain)) (go visiting callee))
+            (try Hashtbl.find t.fwd name with Not_found -> [])
+        in
+        (* Keep one witness chain per lock id. *)
+        let seen = Hashtbl.create 8 in
+        let r =
+          List.filter
+            (fun (l, _) ->
+              if Hashtbl.mem seen l then false
+              else begin
+                Hashtbl.replace seen l ();
+                true
+              end)
+            (own @ via_calls)
+        in
+        Hashtbl.replace memo name r;
+        r
+      end
+  in
+  fun name -> go [] name
+
+(* Fixpoint of "releases one of its parameters": directly, or by
+   forwarding a parameter to a callee that does. *)
+let releasers t =
+  let rel = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun name f ->
+      if name = f.Summary.fn_name && f.Summary.releases_param then
+        Hashtbl.replace rel name ())
+    t.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun name f ->
+        if name = f.Summary.fn_name && not (Hashtbl.mem rel name) then
+          let forwards_to_releaser =
+            List.exists
+              (fun callee ->
+                match find t callee with
+                | Some g -> Hashtbl.mem rel g.Summary.fn_name
+                | None -> false)
+              f.Summary.forwards_params
+          in
+          if forwards_to_releaser then begin
+            Hashtbl.replace rel name ();
+            changed := true
+          end)
+      t.funcs
+  done;
+  rel

@@ -1,14 +1,22 @@
-(* DS001 — toplevel mutable state in a module reachable from
-   Pool-raced code.
+(* DS001 — toplevel mutable state in a module raced by the domain
+   pool.
 
    The portfolio solver runs engine configurations on separate OCaml 5
-   domains ([Ec_util.Pool.race] / [map_list]); any module those raced
-   closures can reach executes concurrently.  A toplevel [ref],
-   [Hashtbl.t], [Buffer.t], [Queue.t], [Stack.t] or value of a
+   domains ([Ec_util.Pool.race] / [map_list] / [submit]); any code
+   those raced closures can reach executes concurrently.  A toplevel
+   [ref], [Hashtbl.t], [Buffer.t], [Queue.t], [Stack.t] or value of a
    mutable-field record type in such a module is shared unsynchronized
    state — a data race under the OCaml memory model unless it is an
    [Atomic.t], sits behind a [Mutex.t], or is domain-local
-   ([Domain.DLS]).  The lint cannot see a mutex *protocol*, so
+   ([Domain.DLS]).
+
+   Scope comes from the real call graph ({!Ctx.reachable}): the
+   functions that hand closures to the pool, everyone who (transitively)
+   calls them — they built the closures, so state they capture is
+   raced — and everything that code can reach.  The import-closure
+   heuristic this replaces could not see a wrapper in another unit
+   handing a closure over state the wrapper's unit never imports; the
+   graph can.  The lint still cannot see a mutex *protocol*, so
    deliberately lock-guarded tables must carry a waiver naming the
    lock. *)
 

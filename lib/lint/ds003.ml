@@ -1,0 +1,169 @@
+(* DS003 — non-atomic write sequenced after the publish that guards it.
+
+   The pre-fix [Watchdog.cancel_entry] bug class: a piece of state is
+   published to other domains by an [Atomic.store] (directly, or
+   inside a flag-setter like [Budget.cancel]) or by a [Mutex.unlock],
+   and a plain mutable write to the SAME state happens after the
+   publish.  Under the OCaml memory model the observer that saw the
+   publish has no guarantee of seeing the later write — the exact
+   window PR 7 closed by hand.  The write must move before the
+   publish, or the field must become atomic.
+
+   Mechanics: a sequencing-aware walk of every toplevel binding
+   carries the set of "published roots" — the base identifiers of the
+   arguments of each publish point.  A publish point is a direct
+   atomic store, a direct [Mutex.unlock], or (via the cross-unit
+   summaries, one level deep) a call to a function whose body performs
+   an atomic store.  A later [Texp_setfield] / [:=] whose target roots
+   in the published set is flagged.  Branches merge by union;
+   [exception] cases of a match on the publishing call start from the
+   pre-publish state (on that path the publish never happened);
+   closure bodies are separate executions and start empty.  Benign
+   read-modify-writes ([Atomic.incr], [fetch_and_add]) are not
+   publish points. *)
+
+let id = "DS003"
+
+module M = Map.Make (String)
+
+let direct_publish_ops =
+  [ "Atomic.store"; "Atomic.set"; "Atomic.exchange"; "Atomic.compare_and_set" ]
+
+let is_fun_arg (a : Typedtree.expression) =
+  match a.Typedtree.exp_desc with
+  | Typedtree.Texp_function _ -> true
+  | _ -> (
+    match Types.get_desc a.Typedtree.exp_type with
+    | Types.Tarrow _ -> true
+    | _ -> false)
+
+(* Roots published by an application's arguments: base identifiers of
+   ident/field-chain args.  Closure args are the critical section
+   itself, not state, and computed args have no root. *)
+let add_arg_roots ~kind args live =
+  List.fold_left
+    (fun acc a ->
+      if is_fun_arg a then acc
+      else
+        match Tt_util.root_of a with
+        | Some r -> M.add r kind acc
+        | None -> acc)
+    live args
+
+let check ctx (u : Unit_info.t) =
+  let short = Tt_util.short_of_unit u.Unit_info.modname in
+  let findings = Hashtbl.create 8 in
+  let flag ~loc ~kind ~what =
+    Hashtbl.replace findings
+      (loc.Location.loc_start.Lexing.pos_lnum, loc.Location.loc_start.Lexing.pos_cnum)
+      (Finding.make ~check:id ~severity:Finding.Error ~loc
+         (Printf.sprintf
+            "non-atomic write to %s sequenced after the %s that publishes it: \
+             a domain observing the publish may never see this write; move \
+             the write before the publish or make the field atomic"
+            what kind))
+  in
+  (* Classify an application head: what kind of publish point is it? *)
+  let publish_kind (head : Typedtree.expression) =
+    match head.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) ->
+      if Tt_util.path_is direct_publish_ops p then Some "atomic store"
+      else if Tt_util.path_is [ "Mutex.unlock" ] p then Some "Mutex.unlock"
+      else begin
+        let name = Tt_util.norm_path ~short p in
+        if Ctx.atomic_publisher ctx name then
+          Some (Printf.sprintf "atomic store inside %s" name)
+        else None
+      end
+    | _ -> None
+  in
+  let write_target (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_setfield (r, _, lbl, _) ->
+      Option.map (fun root -> (root, "field `" ^ lbl.Types.lbl_name ^ "'")) (Tt_util.root_of r)
+    | Typedtree.Texp_apply _ -> (
+      let head, args = Tt_util.flatten_apply e in
+      match (head.Typedtree.exp_desc, args) with
+      | Typedtree.Texp_ident (p, _, _), r :: _
+        when Tt_util.path_is [ ":="; "incr"; "decr" ] p ->
+        Option.map (fun root -> (root, "ref")) (Tt_util.root_of r)
+      | _ -> None)
+    | _ -> None
+  in
+  (* [walk live e] returns the set of published roots live after [e]. *)
+  let rec walk live (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_sequence (a, b) -> walk (walk live a) b
+    | Typedtree.Texp_let (_, vbs, body) ->
+      let live =
+        List.fold_left (fun l vb -> walk l vb.Typedtree.vb_expr) live vbs
+      in
+      walk live body
+    | Typedtree.Texp_setfield (r, _, _, v) ->
+      let live = walk (walk live r) v in
+      (match write_target e with
+      | Some (root, what) -> (
+        match M.find_opt root live with
+        | Some kind -> flag ~loc:e.Typedtree.exp_loc ~kind ~what
+        | None -> ())
+      | None -> ());
+      live
+    | Typedtree.Texp_apply _ -> (
+      let head, args = Tt_util.flatten_apply e in
+      let live = List.fold_left walk live args in
+      match write_target e with
+      | Some (root, what) ->
+        (match M.find_opt root live with
+        | Some kind -> flag ~loc:e.Typedtree.exp_loc ~kind ~what
+        | None -> ());
+        live
+      | None -> (
+        match publish_kind head with
+        | Some kind -> add_arg_roots ~kind args live
+        | None -> live))
+    | Typedtree.Texp_ifthenelse (c, t, eo) ->
+      let live = walk live c in
+      let lt = walk live t in
+      let le = match eo with Some e -> walk live e | None -> live in
+      M.union (fun _ a _ -> Some a) lt le
+    | Typedtree.Texp_match (scr, cases, _) ->
+      let live' = walk live scr in
+      List.fold_left
+        (fun acc (c : Typedtree.computation Typedtree.case) ->
+          (* An [exception] branch of a match on the publishing call
+             means the publish did not complete on this path. *)
+          let is_exn =
+            match Typedtree.split_pattern c.Typedtree.c_lhs with
+            | None, Some _ -> true
+            | _ -> false
+          in
+          let start = if is_exn then live else live' in
+          M.union (fun _ a _ -> Some a) acc (walk start c.Typedtree.c_rhs))
+        M.empty cases
+    | Typedtree.Texp_try (b, cases) ->
+      let lb = walk live b in
+      List.fold_left
+        (fun acc (c : _ Typedtree.case) ->
+          M.union (fun _ a _ -> Some a) acc (walk live c.Typedtree.c_rhs))
+        lb cases
+    | Typedtree.Texp_while (c, b) ->
+      let one = walk (walk live c) b in
+      (* Second pass with the loop-carried set: a write early in the
+         body can follow a publish late in the previous iteration. *)
+      let two = walk (walk (M.union (fun _ a _ -> Some a) live one) c) b in
+      M.union (fun _ a _ -> Some a) live two
+    | Typedtree.Texp_for (_, _, a, b, _, body) ->
+      let live = walk (walk live a) b in
+      let one = walk live body in
+      let two = walk (M.union (fun _ a _ -> Some a) live one) body in
+      M.union (fun _ a _ -> Some a) live two
+    | Typedtree.Texp_function { cases; _ } ->
+      List.iter
+        (fun (c : _ Typedtree.case) -> ignore (walk M.empty c.Typedtree.c_rhs))
+        cases;
+      live
+    | _ -> List.fold_left walk live (Tt_util.sub_exprs e)
+  in
+  Tt_util.iter_toplevel_bindings u.Unit_info.structure (fun ~name:_ vb ->
+      ignore (walk M.empty vb.Typedtree.vb_expr));
+  Hashtbl.fold (fun _ f acc -> f :: acc) findings []

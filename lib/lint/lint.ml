@@ -1,7 +1,16 @@
+type waiver_status = {
+  w_file : string;             (* compiler-relative source path *)
+  w_line : int;
+  w_checks : string list;
+  w_reason : string;
+  w_stale : string list;       (* listed checks with no finding on the span *)
+}
+
 type report = {
   findings : Finding.t list;
   units_scanned : int;
   cmts_skipped : int;
+  waivers : waiver_status list;   (* every source waiver in the scan *)
 }
 
 (* Resolve the source path recorded in a finding's location.  Compiler
@@ -54,7 +63,45 @@ let apply_waivers cache ~builddir ~cmt_path findings =
       | None -> f)
     findings
 
-let run ?checks ?(warn = []) paths =
+(* The waiver inventory: every waiver in every scanned unit's source,
+   with the checks on its span that no longer fire marked stale.
+   Staleness is judged against the PRE-waive findings — a waiver is
+   alive exactly when the finding it silences still exists. *)
+let audit_waivers units raw_findings =
+  let fired = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Finding.t) ->
+      for l = max 1 (f.Finding.line - 2) to f.Finding.line do
+        Hashtbl.replace fired (f.Finding.file, l, String.uppercase_ascii f.Finding.check) ()
+      done)
+    raw_findings;
+  List.concat_map
+    (fun (u : Unit_info.t) ->
+      match u.Unit_info.source with
+      | None -> []
+      | Some src -> (
+        match
+          resolve_source ~builddir:u.Unit_info.builddir
+            ~cmt_path:u.Unit_info.cmt_path src
+        with
+        | None -> []
+        | Some path ->
+          List.map
+            (fun (w : Waiver.t) ->
+              let stale =
+                List.filter
+                  (fun c -> not (Hashtbl.mem fired (src, w.Waiver.line, c)))
+                  w.Waiver.checks
+              in
+              { w_file = src;
+                w_line = w.Waiver.line;
+                w_checks = w.Waiver.checks;
+                w_reason = w.Waiver.reason;
+                w_stale = stale })
+            (Waiver.scan_file path)))
+    units
+
+let run ?checks ?(warn = []) ?cache_file paths =
   let selected =
     match checks with
     | None -> Registry.all
@@ -65,34 +112,56 @@ let run ?checks ?(warn = []) paths =
         Registry.all
   in
   let warn = List.map String.uppercase_ascii warn in
+  let warn_all = List.mem "ALL" warn in
   let cmts = Unit_info.collect_cmts paths in
   let units = List.filter_map Unit_info.load cmts in
-  let ctx = Ctx.build units in
+  let summaries =
+    match cache_file with
+    | Some p ->
+      let c = Cache.load p in
+      let ss = List.map (Cache.summary c) units in
+      Cache.save c;
+      ss
+    | None -> List.map Summary.of_unit units
+  in
+  let ctx = Ctx.build units summaries in
   let cache = Hashtbl.create 16 in
-  let findings =
-    List.concat_map
+  let raw_by_unit =
+    List.map
       (fun (u : Unit_info.t) ->
-        List.concat_map
-          (fun (c : Registry.check) ->
-            c.Registry.run ctx u
-            |> List.map (fun (f : Finding.t) ->
-                   if List.mem (String.uppercase_ascii f.Finding.check) warn then
-                     { f with Finding.severity = Finding.Warning }
-                   else f)
-            |> apply_waivers cache ~builddir:u.Unit_info.builddir
-                 ~cmt_path:u.Unit_info.cmt_path)
-          selected)
+        ( u,
+          List.concat_map
+            (fun (c : Registry.check) ->
+              c.Registry.run ctx u
+              |> List.map (fun (f : Finding.t) ->
+                     if
+                       warn_all
+                       || List.mem (String.uppercase_ascii f.Finding.check) warn
+                     then { f with Finding.severity = Finding.Warning }
+                     else f))
+            selected ))
       units
   in
+  let findings =
+    List.concat_map
+      (fun ((u : Unit_info.t), fs) ->
+        apply_waivers cache ~builddir:u.Unit_info.builddir
+          ~cmt_path:u.Unit_info.cmt_path fs)
+      raw_by_unit
+  in
+  let waivers = audit_waivers units (List.concat_map snd raw_by_unit) in
   { findings = List.sort Finding.compare findings;
     units_scanned = List.length units;
-    cmts_skipped = List.length cmts - List.length units }
+    cmts_skipped = List.length cmts - List.length units;
+    waivers }
 
 let unwaived_errors r =
   List.filter
     (fun (f : Finding.t) ->
       (not f.Finding.waived) && f.Finding.severity = Finding.Error)
     r.findings
+
+let stale_waivers r = List.filter (fun w -> w.w_stale <> []) r.waivers
 
 let render_human r =
   let buf = Buffer.create 1024 in
@@ -118,19 +187,57 @@ let render_human r =
         else ""));
   Buffer.contents buf
 
+(* The waiver inventory report ([eclint --waivers]). *)
+let render_waivers r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d: [%s]%s %s\n" w.w_file w.w_line
+           (String.concat "," w.w_checks)
+           (match w.w_stale with
+           | [] -> ""
+           | st -> Printf.sprintf " STALE(%s)" (String.concat "," st))
+           w.w_reason))
+    r.waivers;
+  let stale = List.length (stale_waivers r) in
+  Buffer.add_string buf
+    (Printf.sprintf "eclint: %d waiver(s), %d stale%s\n" (List.length r.waivers)
+       stale
+       (if stale > 0 then
+          " — remove stale waivers or re-point them at a live finding"
+        else ""));
+  Buffer.contents buf
+
 let render_json r =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\"version\":1,\"findings\":[";
+  Buffer.add_string buf "{\"version\":2,\"findings\":[";
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf (Finding.to_json f))
     r.findings;
+  Buffer.add_string buf "],\"waivers\":[";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"file\":\"%s\",\"line\":%d,\"checks\":[%s],\"stale\":[%s],\"reason\":\"%s\"}"
+           (Finding.json_escape w.w_file) w.w_line
+           (String.concat ","
+              (List.map (fun c -> "\"" ^ Finding.json_escape c ^ "\"") w.w_checks))
+           (String.concat ","
+              (List.map (fun c -> "\"" ^ Finding.json_escape c ^ "\"") w.w_stale))
+           (Finding.json_escape w.w_reason)))
+    r.waivers;
   Buffer.add_string buf
-    (Printf.sprintf "],\"summary\":{\"units\":%d,\"skipped\":%d,\"errors\":%d,\"waived\":%d}}"
+    (Printf.sprintf
+       "],\"summary\":{\"units\":%d,\"skipped\":%d,\"errors\":%d,\"waived\":%d,\"stale_waivers\":%d}}"
        r.units_scanned r.cmts_skipped
        (List.length (unwaived_errors r))
-       (List.length (List.filter (fun f -> f.Finding.waived) r.findings)));
+       (List.length (List.filter (fun f -> f.Finding.waived) r.findings))
+       (List.length (stale_waivers r)));
   Buffer.add_char buf '\n';
   Buffer.contents buf
 

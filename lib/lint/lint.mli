@@ -1,37 +1,67 @@
 (** The lint driver: load [.cmt] files, run the registered checks,
     apply source-comment waivers, render reports.
 
-    The scan is whole-program over the set of [.cmt]s handed in —
-    DS001's reachability and the mutable-record-type index are
-    computed across all of them, so a meaningful run passes every
-    library [.cmt] at once (e.g. everything under
-    [_build/default/lib]). *)
+    The scan is whole-program over the set of [.cmt]s handed in — the
+    cross-unit call graph, effect summaries, raced-unit set and lock
+    graph are computed across all of them, so a meaningful run passes
+    every library [.cmt] at once (e.g. everything under
+    [_build/default/lib] and [_build/default/bin]). *)
+
+type waiver_status = {
+  w_file : string;        (** compiler-relative source path *)
+  w_line : int;
+  w_checks : string list;
+  w_reason : string;
+  w_stale : string list;
+      (** checks the waiver names that no longer fire on its span —
+          the waiver is rotting and should be removed *)
+}
 
 type report = {
   findings : Finding.t list;   (** sorted; waived findings included *)
   units_scanned : int;
   cmts_skipped : int;          (** unreadable / interface-only files *)
+  waivers : waiver_status list;
+      (** every waiver in every scanned unit's source (the inventory
+          behind [eclint --waivers]) *)
 }
 
-val run : ?checks:string list -> ?warn:string list -> string list -> report
-(** [run ?checks ?warn paths] scans the [.cmt] files (or directories,
-    searched recursively) in [paths].  [checks] restricts the run to
-    the named check ids; [warn] downgrades the named ids to
-    warnings. *)
+val run :
+  ?checks:string list ->
+  ?warn:string list ->
+  ?cache_file:string ->
+  string list ->
+  report
+(** [run ?checks ?warn ?cache_file paths] scans the [.cmt] files (or
+    directories, searched recursively) in [paths].  [checks] restricts
+    the run to the named check ids; [warn] downgrades the named ids to
+    warnings (the id ["all"] downgrades every check).  [cache_file]
+    points at a summary cache keyed by [.cmt] digests: unchanged units
+    skip effect-summary extraction, keeping repeated scans
+    incremental. *)
 
 val unwaived_errors : report -> Finding.t list
 (** The findings that gate: unwaived and of severity [Error]. *)
+
+val stale_waivers : report -> waiver_status list
+(** The waivers naming at least one check that no longer fires on
+    their span. *)
 
 val render_human : report -> string
 (** The terminal report: one {!Finding.to_human} line per finding
     (waived ones marked) followed by a one-line scan summary — what
     [eclint] prints by default. *)
 
+val render_waivers : report -> string
+(** The waiver inventory ([eclint --waivers]): one line per waiver
+    with its span, checks, rationale and a [STALE(...)] marker for
+    checks that no longer fire there. *)
+
 val render_json : report -> string
 (** The machine-readable report ([eclint --format=json], archived as
-    [LINT.json] by CI): a JSON document with a [findings] array (one
-    {!Finding.to_json} object each, waiver rationales included) and a
-    [summary] object with the scan counts. *)
+    [LINT.json] by CI): a JSON document with a [findings] array, a
+    [waivers] array (staleness included) and a [summary] object with
+    the scan counts. *)
 
 val exit_code : report -> int
 (** 0 clean (waived findings allowed), 1 when {!unwaived_errors} is

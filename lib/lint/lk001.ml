@@ -1,0 +1,44 @@
+(* LK001 — lock-order cycles in the interprocedural Mutex graph.
+
+   Every "lock l2 while holding l1" nesting — direct, through a call
+   chain, or through a [with_lock]-style wrapper — is an edge l1 -> l2
+   in a whole-program graph over lock identities (module-level mutexes
+   by name, per-value mutexes by owning type and field, local mutexes
+   per binding; see {!Summary.lock_identity}).  A cycle means two
+   domains can each hold one lock of the cycle and wait for another:
+   a potential deadlock.  The report prints every acquisition path of
+   the cycle so both sides of the inversion are visible.
+
+   The edges and cycles are computed once per scan in {!Ctx.build};
+   this check anchors each cycle at its first edge's unit so a cycle
+   is reported exactly once per scan. *)
+
+let id = "LK001"
+
+let render_edge (e : Ctx.lock_edge) =
+  let via =
+    match e.Ctx.e_via with
+    | [] -> ""
+    | chain -> Printf.sprintf " via %s" (String.concat " -> " chain)
+  in
+  Printf.sprintf "%s -> %s (in %s at line %d%s)" e.Ctx.e_from e.Ctx.e_to
+    e.Ctx.e_fn e.Ctx.e_loc.Location.loc_start.Lexing.pos_lnum via
+
+let check ctx (u : Unit_info.t) =
+  List.filter_map
+    (fun cycle ->
+      match cycle with
+      | [] -> None
+      | anchor :: _ when anchor.Ctx.e_unit <> u.Unit_info.modname -> None
+      | anchor :: _ ->
+        let locks = List.map (fun e -> e.Ctx.e_from) cycle in
+        Some
+          (Finding.make ~check:id ~severity:Finding.Error ~loc:anchor.Ctx.e_loc
+             (Printf.sprintf
+                "lock-order cycle %s -> %s: acquisition paths [%s]; two \
+                 domains taking these locks in different orders can \
+                 deadlock; pick one global order"
+                (String.concat " -> " locks)
+                (List.hd locks)
+                (String.concat "; " (List.map render_edge cycle)))))
+    ctx.Ctx.lock_cycles

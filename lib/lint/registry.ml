@@ -22,13 +22,39 @@ let all =
         "use of Stdlib.Random (Random.int, Random.self_init, ...) instead of \
          explicit Ec_util.Rng streams";
       run = Ds002.check };
-    { id = Bp001.id;
-      title = "engine never polls its budget";
+    { id = Ds003.id;
+      title = "non-atomic write after the publishing store/unlock";
       default_severity = Finding.Error;
       doc =
-        "a solve entry point or gauge-arming binding in an engine module with \
-         no path to Budget.check: budgets and cancellation cannot stop it";
+        "a plain mutable write sequenced after the Atomic store or \
+         Mutex.unlock that publishes the same state: observers of the \
+         publish may never see the write (the pre-fix Watchdog.cancel_entry \
+         bug class)";
+      run = Ds003.check };
+    { id = Bp001.id;
+      title = "arms a budget with no reachable poll";
+      default_severity = Finding.Error;
+      doc =
+        "a binding that reaches Budget.start but not Budget.check in the \
+         whole-program call graph (or a looping solve* entry with no \
+         reachable poll): budgets and cancellation cannot stop it";
       run = Bp001.check };
+    { id = Lk001.id;
+      title = "lock-order cycle across the scan";
+      default_severity = Finding.Error;
+      doc =
+        "a cycle in the interprocedural Mutex nesting graph (lock B taken \
+         while holding A on one path, A under B on another): a potential \
+         deadlock; both acquisition paths are printed";
+      run = Lk001.check };
+    { id = Rs001.id;
+      title = "acquired handle with no release or owner";
+      default_severity = Finding.Error;
+      doc =
+        "a Unix.openfile/socket/accept, Domain.spawn or Pool.create handle \
+         that neither escapes its defining function nor reaches a \
+         close/join/shutdown (Fun.protect and releasing wrappers credited)";
+      run = Rs001.check };
     { id = Ex001.id;
       title = "catch-all exception handler";
       default_severity = Finding.Error;

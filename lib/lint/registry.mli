@@ -10,7 +10,8 @@ type check = {
 }
 
 val all : check list
-(** Registration order: DS001, DS002, BP001, EX001, FP001. *)
+(** Registration order: DS001, DS002, DS003, BP001, LK001, RS001,
+    EX001, FP001. *)
 
 val find : string -> check option
 (** Lookup by id, case-insensitive. *)

@@ -1,0 +1,166 @@
+(* RS001 — an acquired handle that neither escapes nor reaches a
+   release in its defining function.
+
+   [Unix.openfile] / [socket] / [accept] / [Domain.spawn] /
+   [Pool.create] produce handles the OS or runtime will not reclaim
+   for us; a handle that stays local to the function and has no
+   [close] / [join] / [shutdown] on any path out of it is a leak (a
+   daemon's accept loop leaks one fd per request that way).
+
+   Credited as NOT leaked:
+     - a lexical release anywhere in the continuation, including
+       inside a [Fun.protect ~finally] closure (that is the single
+       idiom the repo uses for "on every path out");
+     - a call passing the handle to a function that (transitively)
+       releases one of its parameters — the cross-unit summaries make
+       single-exit wrappers like [serve_listening] count;
+     - an escape: the handle is returned, stored in a record/ref/
+       field, packed into a data structure, or captured by a closure —
+       ownership moved, some other scope is responsible.
+
+   Passing the handle as a plain argument to an unknown function
+   ([Unix.bind fd addr]) is a use, not an escape: using a handle must
+   not silence the check. *)
+
+let id = "RS001"
+
+let acquire_ops =
+  [ "Unix.openfile"; "Unix.socket"; "Unix.accept"; "Domain.spawn"; "Pool.create" ]
+
+let is_release ~short (p : Path.t) =
+  Tt_util.path_is Summary.release_ops p
+  || List.exists
+       (Tt_util.ends_with_segment (Tt_util.norm_path ~short p))
+       Summary.release_ops
+
+let pattern_vars (pat : Typedtree.pattern) =
+  let acc = ref [] in
+  let rec go : type k. k Typedtree.general_pattern -> unit =
+   fun p ->
+    match p.Typedtree.pat_desc with
+    | Typedtree.Tpat_var (id, _) -> acc := id :: !acc
+    | Typedtree.Tpat_alias (p, id, _) ->
+      acc := id :: !acc;
+      go p
+    | Typedtree.Tpat_tuple ps -> List.iter go ps
+    | Typedtree.Tpat_construct (_, _, ps, _) -> List.iter go ps
+    | Typedtree.Tpat_record (fields, _) -> List.iter (fun (_, _, p) -> go p) fields
+    | _ -> ()
+  in
+  go pat;
+  !acc
+
+(* Trailing expressions of a body — the values it can return. *)
+let rec tails (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_sequence (_, b) | Typedtree.Texp_let (_, _, b) -> tails b
+  | Typedtree.Texp_ifthenelse (_, t, eo) ->
+    tails t @ (match eo with Some e -> tails e | None -> [])
+  | Typedtree.Texp_match (_, cases, _) ->
+    List.concat_map
+      (fun (c : Typedtree.computation Typedtree.case) -> tails c.Typedtree.c_rhs)
+      cases
+  | Typedtree.Texp_try (_, cases) ->
+    List.concat_map
+      (fun (c : Typedtree.value Typedtree.case) -> tails c.Typedtree.c_rhs)
+      cases
+  | _ -> [ e ]
+
+let check ctx (u : Unit_info.t) =
+  let short = Tt_util.short_of_unit u.Unit_info.modname in
+  let findings = ref [] in
+  let rooted id (e : Typedtree.expression) =
+    match Tt_util.root_of e with
+    | Some r -> r = "l:" ^ Ident.unique_name id
+    | None -> false
+  in
+  let uses id e = Tt_util.expr_uses_ident id e in
+  (* Scan [body] (the continuation of the acquiring let) for a release
+     of, or an escape of, handle [id]. *)
+  let released_or_escaped id body =
+    let hit = ref false in
+    let in_closure = ref 0 in
+    let it =
+      { Tast_iterator.default_iterator with
+        expr =
+          (fun it (e : Typedtree.expression) ->
+            (match e.Typedtree.exp_desc with
+            | Typedtree.Texp_apply _ -> (
+              let head, args = Tt_util.flatten_apply e in
+              match head.Typedtree.exp_desc with
+              | Typedtree.Texp_ident (p, _, _) ->
+                let arg_is_handle = List.exists (rooted id) args in
+                if arg_is_handle then begin
+                  if is_release ~short p then hit := true
+                  else if Ctx.releases_a_param ctx (Tt_util.norm_path ~short p)
+                  then hit := true
+                  else if Tt_util.path_is [ ":=" ] p then hit := true (* stored *)
+                end
+              | _ -> ())
+            | Typedtree.Texp_setfield (_, _, _, v) -> if uses id v then hit := true
+            | Typedtree.Texp_construct (_, _, es)
+            | Typedtree.Texp_tuple es
+            | Typedtree.Texp_array es ->
+              if List.exists (rooted id) es then hit := true
+            | Typedtree.Texp_record { fields; _ } ->
+              Array.iter
+                (fun (_, ld) ->
+                  match ld with
+                  | Typedtree.Overridden (_, e) -> if rooted id e then hit := true
+                  | Typedtree.Kept _ -> ())
+                fields
+            | Typedtree.Texp_function _ ->
+              (* Capture by a closure: ownership may move anywhere. *)
+              if !in_closure = 0 && uses id e then hit := true
+            | _ -> ());
+            (match e.Typedtree.exp_desc with
+            | Typedtree.Texp_function _ ->
+              incr in_closure;
+              Tast_iterator.default_iterator.expr it e;
+              decr in_closure
+            | _ -> Tast_iterator.default_iterator.expr it e)) }
+    in
+    it.expr it body;
+    if not !hit then
+      (* Returned from the defining scope. *)
+      if List.exists (rooted id) (tails body) then hit := true;
+    !hit
+  in
+  Tt_util.iter_expressions u.Unit_info.structure (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_let (_, vbs, body) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            let head, _ = Tt_util.flatten_apply vb.Typedtree.vb_expr in
+            let acquires =
+              match head.Typedtree.exp_desc with
+              | Typedtree.Texp_ident (p, _, _) ->
+                if
+                  Tt_util.path_is acquire_ops p
+                  || List.exists
+                       (Tt_util.ends_with_segment (Tt_util.norm_path ~short p))
+                       acquire_ops
+                then Some (Tt_util.norm_path ~short p)
+                else None
+              | _ -> None
+            in
+            match acquires with
+            | None -> ()
+            | Some op ->
+              List.iter
+                (fun h ->
+                  if not (released_or_escaped h body) then
+                    findings :=
+                      Finding.make ~check:id ~severity:Finding.Error
+                        ~loc:vb.Typedtree.vb_loc
+                        (Printf.sprintf
+                           "handle `%s' from %s neither escapes nor reaches a \
+                            close/join/shutdown in this function: it leaks on \
+                            every path; release it (Fun.protect ~finally) or \
+                            hand it to an owner"
+                           (Ident.name h) op)
+                      :: !findings)
+                (pattern_vars vb.Typedtree.vb_pat))
+          vbs
+      | _ -> ());
+  List.rev !findings

@@ -103,6 +103,135 @@ let head_constr (ty : Types.type_expr) =
   | Types.Tconstr (p, _, _) -> Some (Path.name p)
   | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Qualified-name normalization for the cross-unit call graph.
+
+   Every value is keyed by a canonical "Short.name" spelling: the last
+   module segment (with dune's "Lib__Short" unit mangling stripped)
+   plus the value name.  All three spellings the compiler records for
+   one reference — "Ec_util.Budget.start", "Ec_util__Budget.start",
+   "Budget.start" — normalize to the same key, and a [Pident]
+   reference from inside the unit is qualified with the unit's own
+   short name.  Shortening can in principle collide two units from
+   different libraries that share a short name; the scan has none, and
+   a collision only over-approximates the graph. *)
+
+(* "Ec_util__Pool" -> "Pool"; a name without the mangling separator is
+   returned unchanged. *)
+let short_of_unit m =
+  let n = String.length m in
+  let rec last_sep i best =
+    if i + 1 >= n then best
+    else if m.[i] = '_' && m.[i + 1] = '_' then last_sep (i + 1) (Some (i + 2))
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | Some i when i < n -> String.sub m i (n - i)
+  | _ -> m
+
+(* "Stdlib.Hashtbl.replace" -> "Hashtbl.replace";
+   "Ec_util__Budget.cancel" -> "Budget.cancel"; "x" -> "x". *)
+let norm_qualified name =
+  match List.rev (String.split_on_char '.' name) with
+  | v :: m :: _ -> short_of_unit m ^ "." ^ v
+  | _ -> name
+
+(* Canonical key for a value path referenced from unit [short]. *)
+let norm_path ~short p =
+  match p with
+  | Path.Pident id -> short ^ "." ^ Ident.name id
+  | _ -> norm_qualified (Path.name p)
+
+(* Flatten an application, looking through [@@] and [|>], to the head
+   expression and the full argument list: [f a @@ g] and [x |> f]
+   expose the real callee so publish/lock/release classification sees
+   it.  Partial applications of the head are merged. *)
+let rec flatten_apply (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_apply (f, args) -> (
+    let args = List.filter_map (fun (_, a) -> a) args in
+    let redirected =
+      match f.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (p, _, _) -> (
+        let n = Path.name p in
+        match args with
+        | [ g; x ] when ends_with_segment n "@@" -> Some (g, [ x ])
+        | [ x; g ] when ends_with_segment n "|>" -> Some (g, [ x ])
+        | _ -> None)
+      | _ -> None
+    in
+    match redirected with
+    | Some (g, extra) ->
+      let head, inner = flatten_apply g in
+      (head, inner @ extra)
+    | None ->
+      let head, inner = flatten_apply f in
+      (head, inner @ args))
+  | _ -> (e, [])
+
+(* The head identifier of an application chain, when it is a plain
+   value reference. *)
+let head_ident e =
+  match (fst (flatten_apply e)).Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some p
+  | _ -> None
+
+(* Immediate sub-expressions of a node, roughly in evaluation order —
+   the fallback child enumeration for the sequencing-aware walks
+   (DS003, LK001) on constructs they do not treat specially.  Missing
+   a child only under-approximates a walk, never crashes it. *)
+let sub_exprs (e : Typedtree.expression) =
+  let case_exprs cases =
+    List.concat_map
+      (fun (c : _ Typedtree.case) ->
+        (match c.Typedtree.c_guard with Some g -> [ g ] | None -> [])
+        @ [ c.Typedtree.c_rhs ])
+      cases
+  in
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_apply (f, args) -> f :: List.filter_map (fun (_, a) -> a) args
+  | Typedtree.Texp_tuple es | Typedtree.Texp_array es -> es
+  | Typedtree.Texp_construct (_, _, es) -> es
+  | Typedtree.Texp_variant (_, eo) -> Option.to_list eo
+  | Typedtree.Texp_record { fields; extended_expression; _ } ->
+    Option.to_list extended_expression
+    @ (Array.to_list fields
+      |> List.filter_map (fun (_, ld) ->
+             match ld with
+             | Typedtree.Overridden (_, e) -> Some e
+             | Typedtree.Kept _ -> None))
+  | Typedtree.Texp_field (b, _, _) -> [ b ]
+  | Typedtree.Texp_setfield (b, _, _, v) -> [ b; v ]
+  | Typedtree.Texp_ifthenelse (c, t, e) -> (c :: t :: Option.to_list e)
+  | Typedtree.Texp_sequence (a, b) -> [ a; b ]
+  | Typedtree.Texp_while (c, b) -> [ c; b ]
+  | Typedtree.Texp_for (_, _, a, b, _, body) -> [ a; b; body ]
+  | Typedtree.Texp_let (_, vbs, body) ->
+    List.map (fun vb -> vb.Typedtree.vb_expr) vbs @ [ body ]
+  | Typedtree.Texp_match (s, cases, _) -> s :: case_exprs cases
+  | Typedtree.Texp_try (b, cases) -> b :: case_exprs cases
+  | Typedtree.Texp_function { cases; _ } -> case_exprs cases
+  | Typedtree.Texp_lazy e | Typedtree.Texp_assert (e, _) -> [ e ]
+  | Typedtree.Texp_open (_, b) -> [ b ]
+  | Typedtree.Texp_letmodule (_, _, _, _, b) -> [ b ]
+  | Typedtree.Texp_letexception (_, b) -> [ b ]
+  | _ -> []
+
+(* The "root" of an lvalue-ish expression: the identifier at the base
+   of a field/deref chain.  [e.budget] roots at [e]; [!r] roots at
+   [r]; an arbitrary computation has no root. *)
+let rec root_of (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (Path.Pident id, _, _) -> Some ("l:" ^ Ident.unique_name id)
+  | Typedtree.Texp_ident (p, _, _) -> Some ("g:" ^ norm_qualified (Path.name p))
+  | Typedtree.Texp_field (b, _, _) -> root_of b
+  | Typedtree.Texp_apply (f, [ (_, Some a) ]) ->
+    (match f.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) when ends_with_segment (Path.name p) "!" ->
+      root_of a
+    | _ -> None)
+  | _ -> None
+
 (* Toplevel value bindings of a structure, recursing into plain
    submodule structures ([module M = struct ... end]) so that state
    hidden one module down is still seen.  The callback receives the

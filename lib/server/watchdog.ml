@@ -20,20 +20,22 @@ type t = {
 let fired_metric = Ec_util.Metrics.counter "serve.watchdog.cancelled"
 
 let cancel_entry e =
-  (* [fired] must be written BEFORE the cancel: the atomic store inside
-     [Budget.cancel] is what publishes it to the solving domain, so a
-     solve that observes the cancellation is guaranteed to read
-     [fired = true] when mapping its stop reason to "deadline".  The
-     other order leaves a window where the solve returns Cancelled yet
-     still sees [fired = false]. *)
+  (* Both plain writes go BEFORE the cancel: the atomic store inside
+     [Budget.cancel] is what publishes this entry's state to the
+     solving domain, so a solve that observes the cancellation is
+     guaranteed to read [fired = true] (mapping its stop reason to
+     "deadline") and [active = false].  Writing either field after the
+     cancel leaves a window where the solve returns Cancelled yet
+     still sees the stale value — eclint DS003 flags that shape. *)
   e.fired <- true;
+  e.active <- false;
   (* A budget built without its own flag cannot be cancelled; guards in
      the server always carry one, but refusing to raise the shared
-     sentinel keeps the module safe for any caller. *)
-  (match Budget.cancel e.budget with
+     sentinel keeps the module safe for any caller.  The un-publish of
+     [fired] on that path is fine: nothing was published. *)
+  match Budget.cancel e.budget with
   | () -> Ec_util.Metrics.incr fired_metric
-  | exception Invalid_argument _ -> e.fired <- false);
-  e.active <- false
+  | exception Invalid_argument _ -> e.fired <- false
 
 let sweep t now =
   Mutex.lock t.lock;

@@ -1,0 +1,8 @@
+(* Cross-unit BP001 support: the Budget.start call lives here, one
+   unit away from the solver loop that never polls.  Arming on behalf
+   of callers is this helper's whole purpose, so its own finding is
+   waived — the un-waived finding belongs to Bad_bp001_cross. *)
+
+(* eclint: allow BP001 — arming wrapper: pollability is the caller's
+   obligation, which Bad_bp001_cross deliberately violates *)
+let arm b = Ec_util.Budget.start b

@@ -1,0 +1,11 @@
+(* BP001 fixture the seed analysis provably missed: the loop arms its
+   budget through [Arm_helper.arm] — this source never names the
+   arming entry point itself, so the seed's module-local fixpoint saw
+   nothing armed here and reported the unit clean (test_lint asserts
+   that absence).  In the whole-program call graph [solve_hot] reaches
+   the arming call via the helper and reaches no poll: uncancellable. *)
+
+let solve_hot budget =
+  let _gauge = Arm_helper.arm budget in
+  let rec churn n = if n = 0 then 0 else churn (n - 1) in
+  churn 1_000_000

@@ -1,0 +1,30 @@
+(* DS003 fixture: the pre-fix [Watchdog.cancel_entry], verbatim (PR 7
+   fixed it by hand; eclint v2 exists to catch the class).  The atomic
+   store inside [Budget.cancel] publishes the entry to the solving
+   domain, yet both [fired] and [active] are written after it — a
+   domain that observes the cancellation can still read the stale
+   values. *)
+
+module Budget = Ec_util.Budget
+
+type entry = {
+  budget : Budget.t;
+  mutable deadline : float;
+  mutable fired : bool;
+  mutable active : bool;
+}
+
+let fired_metric = Ec_util.Metrics.counter "fixture.watchdog.cancelled"
+
+let cancel_entry e =
+  (* A budget built without its own flag cannot be cancelled; guards in
+     the server always carry one, but refusing to raise the shared
+     sentinel keeps the module safe for any caller. *)
+  (match Budget.cancel e.budget with
+  | () ->
+    e.fired <- true;
+    Ec_util.Metrics.incr fired_metric
+  | exception Invalid_argument _ -> ());
+  e.active <- false
+
+let expired e now = e.active && e.deadline <= now

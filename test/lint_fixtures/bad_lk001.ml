@@ -1,0 +1,16 @@
+(* LK001 fixture: [ab] acquires A then (through a callee in another
+   unit) B; [ba] acquires B then A.  Neither function is wrong on its
+   own — the deadlock only exists in the whole-program nesting graph,
+   where the two edges close a cycle. *)
+
+let ab () =
+  Mutex.lock Lk001_locks.la;
+  let r = Lk001_locks.under_b (fun () -> 1) in
+  Mutex.unlock Lk001_locks.la;
+  r
+
+let ba () =
+  Mutex.lock Lk001_locks.lb;
+  let r = Lk001_locks.under_a (fun () -> 2) in
+  Mutex.unlock Lk001_locks.lb;
+  r

@@ -1,0 +1,9 @@
+(* RS001 fixture: the socket neither escapes [probe] nor reaches a
+   [Unix.close] on any path out of it — one fd leaked per call.
+   Passing the handle to [Unix.bind] / [Unix.getsockname] is a use,
+   not a transfer of ownership. *)
+
+let probe () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.getsockname fd

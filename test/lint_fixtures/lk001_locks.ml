@@ -1,0 +1,19 @@
+(* LK001 fixture support: two module-level locks plus helpers whose
+   summaries carry the acquisitions, so Bad_lk001's opposite-order
+   nestings are only visible through the cross-unit lock graph.  This
+   module on its own is clean — no nesting happens here. *)
+
+let la = Mutex.create ()
+let lb = Mutex.create ()
+
+let under_a f =
+  Mutex.lock la;
+  let r = f () in
+  Mutex.unlock la;
+  r
+
+let under_b f =
+  Mutex.lock lb;
+  let r = f () in
+  Mutex.unlock lb;
+  r

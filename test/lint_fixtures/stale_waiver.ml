@@ -1,0 +1,6 @@
+(* Stale-waiver fixture: the waiver below names a check that does not
+   fire on its span — [eclint --waivers] must report it STALE (the
+   rot-detection satellite).  The module is otherwise clean. *)
+
+(* eclint: allow EX001 — nothing here can raise any more *)
+let quiet x = x + 1

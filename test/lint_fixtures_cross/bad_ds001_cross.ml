@@ -1,0 +1,17 @@
+(* DS001 fixture the seed analysis provably missed: the raced ref
+   lives HERE, in a library with no pool call sites at all — the race
+   only happens because [race_tally]'s closure travels through
+   [Pool_wrapper.run_raced] (another library) onto worker domains.
+   The seed's import-closure heuristic walked imports downward from
+   pool-root units and nothing over there imports this module, so the
+   seed saw this unit as unraced and clean.  test_lint recomputes that
+   closure and asserts the miss. *)
+
+let tally = ref 0
+
+let race_tally f g =
+  Lint_fixtures.Pool_wrapper.run_raced
+    (fun () ->
+      incr tally;
+      f ())
+    g

@@ -1,14 +1,21 @@
-(* eclint check-suite tests: scan the lint_fixtures library's .cmt
-   artifacts and assert each known-bad module triggers exactly its
-   check, and that the waived fixture is reported but suppressed.
+(* eclint check-suite tests: scan the lint_fixtures (and
+   lint_fixtures_cross) .cmt artifacts together with ec_util's — the
+   whole-program checks need the callee summaries of Budget / Pool /
+   Mutex wrappers — and assert each known-bad module triggers exactly
+   its check, the cross-unit fixtures are caught where the seed
+   analysis provably missed them, and the waiver machinery (inventory,
+   staleness) behaves.
 
    Runtime cwd is _build/default/test, so the fixture artifacts sit at
    lint_fixtures/.lint_fixtures.objs/byte/ (built because this test
-   links the lint_fixtures library). *)
+   links the fixture libraries) and ec_util's one level up. *)
 
-let fixtures_dir = "lint_fixtures/.lint_fixtures.objs/byte"
+let scan_dirs =
+  [ "lint_fixtures/.lint_fixtures.objs/byte";
+    "lint_fixtures_cross/.lint_fixtures_cross.objs/byte";
+    "../lib/util/.ec_util.objs/byte" ]
 
-let report = lazy (Ec_lint.Lint.run [ fixtures_dir ])
+let report = lazy (Ec_lint.Lint.run scan_dirs)
 
 (* Findings anchored in one fixture source file. *)
 let findings_for base =
@@ -30,6 +37,112 @@ let assert_exactly base id () =
   Alcotest.(check bool) (base ^ " is an error") true
     (f.Ec_lint.Finding.severity = Ec_lint.Finding.Error)
 
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- new checks ---------------- *)
+
+(* The verbatim pre-fix Watchdog.cancel_entry shape: both post-publish
+   writes ([fired] in the success branch, [active] after the match)
+   are DS003, attributed to the atomic store inside Budget.cancel. *)
+let test_ds003_prefix_watchdog () =
+  let fs = findings_for "bad_ds003.ml" in
+  Alcotest.(check (list string)) "bad_ds003 triggers only DS003" [ "DS003" ]
+    (check_ids fs);
+  Alcotest.(check int) "both post-publish writes flagged" 2 (List.length fs);
+  List.iter
+    (fun (f : Ec_lint.Finding.t) ->
+      Alcotest.(check bool) "finding names the publishing callee" true
+        (contains f.Ec_lint.Finding.message "Budget.cancel"))
+    fs;
+  Alcotest.(check bool) "the trailing [active <- false] write is flagged" true
+    (List.exists
+       (fun (f : Ec_lint.Finding.t) ->
+         contains f.Ec_lint.Finding.message "field `active'")
+       fs)
+
+let test_lk001_cycle () =
+  let fs = findings_for "bad_lk001.ml" in
+  Alcotest.(check (list string)) "bad_lk001 triggers exactly LK001" [ "LK001" ]
+    (check_ids fs);
+  Alcotest.(check int) "one cycle, one finding" 1 (List.length fs);
+  let m = (List.hd fs).Ec_lint.Finding.message in
+  (* Both acquisition paths must be printed, each with its via-chain. *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("cycle report mentions " ^ needle) true
+        (contains m needle))
+    [ "Bad_lk001.ab"; "Bad_lk001.ba"; "Lk001_locks.under_a"; "Lk001_locks.under_b" ]
+
+(* ---------------- seed-miss proofs ---------------- *)
+
+(* The seed's DS001 scope was the import-closure of pool-root units.
+   Recompute it verbatim over the scanned units and assert the
+   cross-library fixture is OUTSIDE it — the seed would have reported
+   that unit clean; only the real call graph races it. *)
+let seed_import_closure units =
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (u : Ec_lint.Unit_info.t) ->
+      Hashtbl.replace by_name u.Ec_lint.Unit_info.modname u)
+    units;
+  let reach = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem reach name) then
+      match Hashtbl.find_opt by_name name with
+      | None -> ()
+      | Some u ->
+        Hashtbl.replace reach name ();
+        List.iter visit u.Ec_lint.Unit_info.imports
+  in
+  List.iter
+    (fun (u : Ec_lint.Unit_info.t) ->
+      if u.Ec_lint.Unit_info.pool_call_sites <> [] then
+        visit u.Ec_lint.Unit_info.modname)
+    units;
+  reach
+
+let test_ds001_cross_seed_miss () =
+  (* The new analysis catches it... *)
+  let fs = findings_for "bad_ds001_cross.ml" in
+  Alcotest.(check (list string)) "cross-library raced state caught" [ "DS001" ]
+    (check_ids fs);
+  (* ...and the seed heuristic provably did not: its unit is not in
+     the import closure of any pool root. *)
+  let units =
+    List.filter_map Ec_lint.Unit_info.load
+      (Ec_lint.Unit_info.collect_cmts scan_dirs)
+  in
+  let closure = seed_import_closure units in
+  Alcotest.(check bool) "sanity: same-library fixture was in seed scope" true
+    (Hashtbl.mem closure "Lint_fixtures__Bad_ds001");
+  Alcotest.(check bool) "seed import-closure misses the cross fixture" false
+    (Hashtbl.mem closure "Lint_fixtures_cross__Bad_ds001_cross")
+
+let test_bp001_cross_seed_miss () =
+  assert_exactly "bad_bp001_cross.ml" "BP001" ();
+  (* The seed BP001 was a module-local fixpoint: arming had to be
+     visible in the unit itself.  This unit never mentions
+     Budget.start — read the source and prove it — so the seed saw
+     nothing armed and reported it clean. *)
+  let src = "lint_fixtures/bad_bp001_cross.ml" in
+  let ic = open_in src in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  Alcotest.(check bool) "fixture never mentions Budget.start" false
+    (contains body "Budget.start");
+  (* The helper that arms on its behalf carries a live waiver. *)
+  let helper = findings_for "arm_helper.ml" in
+  Alcotest.(check (list string)) "arming helper flagged too" [ "BP001" ]
+    (check_ids helper);
+  Alcotest.(check bool) "helper finding is waived" true
+    (List.hd helper).Ec_lint.Finding.waived
+
+(* ---------------- waivers ---------------- *)
+
 let test_waived_fixture () =
   let fs = findings_for "waived_ds001.ml" in
   Alcotest.(check (list string)) "waived fixture still reports DS001" [ "DS001" ]
@@ -41,45 +154,84 @@ let test_waived_fixture () =
     Alcotest.(check bool) "waiver carries the rationale" true
       (String.length reason > 0)
   | None -> Alcotest.fail "waived finding lost its rationale");
-  (* The waiver must not gate: a scan of the waived fixture alone is
-     exit-clean. *)
-  let solo = Ec_lint.Lint.run ~checks:[ "DS001" ] [ fixtures_dir ] in
+  (* The waiver must not gate: the waived fixture contributes nothing
+     to the unwaived-error set. *)
   let gating =
     List.filter
       (fun (f : Ec_lint.Finding.t) ->
         Filename.basename f.Ec_lint.Finding.file = "waived_ds001.ml")
-      (Ec_lint.Lint.unwaived_errors solo)
+      (Ec_lint.Lint.unwaived_errors (Lazy.force report))
   in
   Alcotest.(check int) "waived finding does not gate" 0 (List.length gating)
 
+let test_waiver_inventory () =
+  let r = Lazy.force report in
+  let for_base base =
+    List.filter
+      (fun (w : Ec_lint.Lint.waiver_status) ->
+        Filename.basename w.Ec_lint.Lint.w_file = base)
+      r.Ec_lint.Lint.waivers
+  in
+  (* Live waiver: listed, nothing stale. *)
+  (match for_base "waived_ds001.ml" with
+  | [ w ] ->
+    Alcotest.(check (list string)) "live waiver names DS001" [ "DS001" ]
+      w.Ec_lint.Lint.w_checks;
+    Alcotest.(check (list string)) "live waiver is not stale" []
+      w.Ec_lint.Lint.w_stale
+  | ws -> Alcotest.fail (Printf.sprintf "expected 1 waiver, got %d" (List.length ws)));
+  (* Stale waiver: EX001 never fires in stale_waiver.ml. *)
+  (match for_base "stale_waiver.ml" with
+  | [ w ] ->
+    Alcotest.(check (list string)) "stale waiver detected" [ "EX001" ]
+      w.Ec_lint.Lint.w_stale
+  | ws -> Alcotest.fail (Printf.sprintf "expected 1 waiver, got %d" (List.length ws)));
+  Alcotest.(check bool) "stale_waivers surfaces it" true
+    (List.exists
+       (fun (w : Ec_lint.Lint.waiver_status) ->
+         Filename.basename w.Ec_lint.Lint.w_file = "stale_waiver.ml")
+       (Ec_lint.Lint.stale_waivers r));
+  let rendered = Ec_lint.Lint.render_waivers r in
+  Alcotest.(check bool) "render marks STALE" true (contains rendered "STALE(EX001)")
+
+(* ---------------- driver ---------------- *)
+
 let test_exit_code () =
-  (* The fixture set contains unwaived errors, so the report gates. *)
   Alcotest.(check int) "fixtures gate with exit 1" 1
     (Ec_lint.Lint.exit_code (Lazy.force report));
   Alcotest.(check bool) "scan found the fixture units" true
-    ((Lazy.force report).Ec_lint.Lint.units_scanned >= 7)
+    ((Lazy.force report).Ec_lint.Lint.units_scanned >= 16)
 
 let test_check_filter () =
-  let solo = Ec_lint.Lint.run ~checks:[ "ds002" ] [ fixtures_dir ] in
+  let solo = Ec_lint.Lint.run ~checks:[ "ds002" ] scan_dirs in
   Alcotest.(check (list string)) "--check restricts the run" [ "DS002" ]
     (check_ids solo.Ec_lint.Lint.findings)
 
-let test_warn_downgrade () =
-  let r = Ec_lint.Lint.run ~warn:[ "DS001"; "DS002"; "BP001"; "EX001"; "FP001" ]
-      [ fixtures_dir ]
-  in
-  Alcotest.(check int) "all-warnings report is exit-clean" 0
-    (Ec_lint.Lint.exit_code r);
+let test_warn_all () =
+  let r = Ec_lint.Lint.run ~warn:[ "all" ] scan_dirs in
+  Alcotest.(check int) "--warn all is exit-clean" 0 (Ec_lint.Lint.exit_code r);
   Alcotest.(check bool) "findings still reported as warnings" true
     (List.exists
        (fun (f : Ec_lint.Finding.t) ->
          f.Ec_lint.Finding.severity = Ec_lint.Finding.Warning)
+       r.Ec_lint.Lint.findings);
+  Alcotest.(check bool) "no finding left gating" false
+    (List.exists
+       (fun (f : Ec_lint.Finding.t) ->
+         (not f.Ec_lint.Finding.waived)
+         && f.Ec_lint.Finding.severity = Ec_lint.Finding.Error)
        r.Ec_lint.Lint.findings)
 
-let contains hay needle =
-  let lh = String.length hay and ln = String.length needle in
-  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
-  go 0
+let test_warn_single () =
+  let r = Ec_lint.Lint.run ~warn:[ "DS003" ] scan_dirs in
+  Alcotest.(check bool) "DS003 downgraded" true
+    (List.for_all
+       (fun (f : Ec_lint.Finding.t) ->
+         f.Ec_lint.Finding.severity = Ec_lint.Finding.Warning)
+       (List.filter
+          (fun (f : Ec_lint.Finding.t) -> f.Ec_lint.Finding.check = "DS003")
+          r.Ec_lint.Lint.findings));
+  Alcotest.(check int) "other checks still gate" 1 (Ec_lint.Lint.exit_code r)
 
 let test_json_render () =
   let r = Lazy.force report in
@@ -88,7 +240,25 @@ let test_json_render () =
     (fun id ->
       Alcotest.(check bool) ("json mentions " ^ id) true
         (contains json ("\"" ^ id ^ "\"")))
-    [ "DS001"; "DS002"; "BP001"; "EX001"; "FP001" ]
+    [ "DS001"; "DS002"; "DS003"; "BP001"; "LK001"; "RS001"; "EX001"; "FP001" ];
+  Alcotest.(check bool) "json carries the waiver inventory" true
+    (contains json "\"waivers\":[{");
+  Alcotest.(check bool) "json counts stale waivers" true
+    (contains json "\"stale_waivers\":")
+
+(* Summary extraction must be cache-transparent: a cold-cache run and
+   a warm-cache run produce identical findings. *)
+let test_cache_roundtrip () =
+  let path = Filename.temp_file "eclint_cache" ".bin" in
+  Sys.remove path;
+  let render r = Ec_lint.Lint.render_human r in
+  let cold = render (Ec_lint.Lint.run ~cache_file:path scan_dirs) in
+  Alcotest.(check bool) "cache file written" true (Sys.file_exists path);
+  let warm = render (Ec_lint.Lint.run ~cache_file:path scan_dirs) in
+  Sys.remove path;
+  Alcotest.(check string) "cold and warm scans agree" cold warm;
+  Alcotest.(check string) "cacheless scan agrees" cold
+    (render (Lazy.force report))
 
 let () =
   Alcotest.run "eclint"
@@ -100,9 +270,19 @@ let () =
           Alcotest.test_case "FP001 bad" `Quick (assert_exactly "bad_backend.ml" "FP001");
           Alcotest.test_case "FP001 maxsat bad" `Quick
             (assert_exactly "bad_maxsat.ml" "FP001");
+          Alcotest.test_case "RS001 bad" `Quick (assert_exactly "bad_rs001.ml" "RS001");
+          Alcotest.test_case "DS003 pre-fix watchdog" `Quick test_ds003_prefix_watchdog;
+          Alcotest.test_case "LK001 cross-unit cycle" `Quick test_lk001_cycle;
           Alcotest.test_case "DS001 waived" `Quick test_waived_fixture ] );
+      ( "seed-miss",
+        [ Alcotest.test_case "DS001 cross-library" `Quick test_ds001_cross_seed_miss;
+          Alcotest.test_case "BP001 cross-unit" `Quick test_bp001_cross_seed_miss ] );
+      ( "waivers",
+        [ Alcotest.test_case "inventory and staleness" `Quick test_waiver_inventory ] );
       ( "driver",
         [ Alcotest.test_case "exit code" `Quick test_exit_code;
           Alcotest.test_case "check filter" `Quick test_check_filter;
-          Alcotest.test_case "warn downgrade" `Quick test_warn_downgrade;
-          Alcotest.test_case "json render" `Quick test_json_render ] ) ]
+          Alcotest.test_case "warn all" `Quick test_warn_all;
+          Alcotest.test_case "warn single" `Quick test_warn_single;
+          Alcotest.test_case "json render" `Quick test_json_render;
+          Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip ] ) ]
