@@ -157,6 +157,19 @@ else
   echo "portfolio bench: best jobs=2 speedup x$best (cores_online=$cores_online)"
 fi
 
+# Benchmark matrix smoke: run the full engine-config × scenario ×
+# scale cross product at smoke scale against the committed store
+# (bench/results.jsonl), gate each cell against the most recent cell
+# from a different commit, and append this run's cells so the store
+# keeps accumulating measurement history.  The matrix runner itself
+# skips the wall-time gate when cores_online <= 1 (it prints the skip
+# notice); the deterministic work counters are gated unconditionally.
+echo "== benchmark matrix (--matrix, trend gate over bench/results.jsonl) =="
+matrix_commit=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+dune exec bench/main.exe -- --matrix --matrix-scales 24 \
+  --store bench/results.jsonl --commit "$matrix_commit"
+echo "matrix: cells appended to bench/results.jsonl at commit $matrix_commit"
+
 # Static analysis, run LAST so the final METRICS.json artifact carries
 # the lint scan's own metrics (lint.duration_s and finding counts).
 # Three gates:

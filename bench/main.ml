@@ -38,6 +38,14 @@ type args = {
   mutable trace : string option;
   mutable metrics : string option;
   mutable maxsat : bool;
+  mutable out : string option;
+      (* overrides the default BENCH_*.json artifact path *)
+  mutable matrix : bool;
+  mutable store : string;
+  mutable commit : string option;
+  mutable no_gate : bool;
+  mutable matrix_scales : int list;
+  mutable matrix_engines : string list;  (* config strings; [] = defaults *)
 }
 
 (* Same convention as ecsat's --trace/--metrics validation: a sink
@@ -55,7 +63,9 @@ let parse_args () =
   let a =
     { table = None; scale = Ec_harness.Protocol.default_config.scale; trials = 5;
       paper = false; skip_micro = false; skip_ablations = false; skip_tables = false;
-      jobs = 1; trace = None; metrics = None; maxsat = false }
+      jobs = 1; trace = None; metrics = None; maxsat = false; out = None;
+      matrix = false; store = "bench/results.jsonl"; commit = None; no_gate = false;
+      matrix_scales = [ 24; 48 ]; matrix_engines = [] }
   in
   let rec go = function
     | [] -> ()
@@ -92,6 +102,42 @@ let parse_args () =
     | "--maxsat" :: rest ->
       a.maxsat <- true;
       go rest
+    | "--out" :: path :: rest ->
+      a.out <- Some path;
+      go rest
+    | "--matrix" :: rest ->
+      a.matrix <- true;
+      go rest
+    | "--store" :: path :: rest ->
+      a.store <- path;
+      go rest
+    | "--commit" :: c :: rest ->
+      a.commit <- Some c;
+      go rest
+    | "--no-gate" :: rest ->
+      a.no_gate <- true;
+      go rest
+    | "--matrix-scales" :: s :: rest ->
+      (try
+         a.matrix_scales <-
+           String.split_on_char ',' s |> List.map String.trim
+           |> List.filter (fun x -> x <> "")
+           |> List.map int_of_string
+       with Failure _ ->
+         Printf.eprintf "bench: --matrix-scales expects a comma-separated int list, got %S\n" s;
+         exit 2);
+      if a.matrix_scales = [] then begin
+        Printf.eprintf "bench: --matrix-scales expects at least one scale\n";
+        exit 2
+      end;
+      go rest
+    | "--matrix-engine" :: spec :: rest ->
+      (match Ec_core.Engine_config.parse spec with
+      | Ok _ -> a.matrix_engines <- a.matrix_engines @ [ spec ]
+      | Error e ->
+        Printf.eprintf "bench: --matrix-engine: %s\n" e;
+        exit 2);
+      go rest
     | arg :: _ ->
       Printf.eprintf "unknown argument %S\n" arg;
       exit 2
@@ -99,6 +145,13 @@ let parse_args () =
   go (List.tl (Array.to_list Sys.argv));
   check_sink "--trace" a.trace;
   check_sink "--metrics" a.metrics;
+  check_sink "--out" a.out;
+  (* the store is append-only: probe writability without truncating *)
+  (if a.matrix then
+     try close_out (open_out_gen [ Open_append; Open_creat ] 0o644 a.store)
+     with Sys_error msg ->
+       Printf.eprintf "bench: --store expects a writable path: %s\n" msg;
+       exit 2);
   a
 
 let config_of args =
@@ -199,10 +252,11 @@ let run_portfolio args config =
     (String.concat ", "
        (List.map (fun (e, n) -> Printf.sprintf "\"%s\": %d" e n) wins));
   Buffer.add_string buf "}\n}\n";
-  let oc = open_out "BENCH_portfolio.json" in
+  let out = Option.value args.out ~default:"BENCH_portfolio.json" in
+  let oc = open_out out in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  print_endline "  wrote BENCH_portfolio.json"
+  Printf.printf "  wrote %s\n" out
 
 (* ---------------- core-guided MaxSAT shootout ---------------- *)
 
@@ -367,10 +421,146 @@ let run_maxsat args config =
        conf_max conf_iter
        (conf_max < conf_iter));
   Buffer.add_string buf "}\n";
-  let oc = open_out "BENCH_maxsat.json" in
+  let out = Option.value args.out ~default:"BENCH_maxsat.json" in
+  let oc = open_out out in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  print_endline "  wrote BENCH_maxsat.json"
+  Printf.printf "  wrote %s\n" out
+
+(* ---------------- benchmark matrix ---------------- *)
+
+(* The serve scenario lives here rather than in Ec_harness.Matrix
+   because the harness does not link the server: a resident session
+   fed an add-only clause stream (satisfied by the planted assignment,
+   so every step stays SAT), re-solved per delta.  The session owns
+   its engine (a warm incremental CDCL), so the scenario only pairs
+   with the default cdcl config. *)
+let serve_scenario =
+  Ec_harness.Matrix.custom ~name:"serve"
+    ~doc:"resident serve session over an add-only clause stream (default cdcl only)"
+    ~run:(fun ~engine ~scale ->
+      match engine with
+      | Ec_core.Engine_config.Cdcl o when o = Ec_sat.Cdcl.default_options ->
+        let spec = List.hd Ec_instances.Registry.small_suite in
+        let factor = float_of_int scale /. float_of_int spec.Ec_instances.Registry.num_vars in
+        let inst = Ec_instances.Registry.build (Ec_instances.Registry.scale factor spec) in
+        let session = Ec_server.Session.create ~name:"bench" inst.formula in
+        let num_vars = Ec_cnf.Formula.num_vars inst.formula in
+        let rng = Ec_util.Rng.create (spec.Ec_instances.Registry.seed lxor (17 * scale)) in
+        let budget = Ec_util.Budget.create ~conflicts:500_000 ~nodes:500_000 () in
+        let certified = ref 0 and retried = ref 0 and degraded = ref 0 in
+        let steps = 5 in
+        for _ = 1 to steps do
+          let delta =
+            List.init 4 (fun _ ->
+                Ec_instances.Padding.anchored_clause rng ~planted:inst.planted ~num_vars
+                  ~width:3)
+          in
+          Ec_server.Session.add_clauses session delta;
+          let r = Ec_server.Session.solve ~budget session in
+          if r.Ec_server.Session.certified then incr certified;
+          if r.Ec_server.Session.retried then incr retried;
+          if r.Ec_server.Session.degraded then incr degraded
+        done;
+        Some
+          ( !certified = steps,
+            [ ("solves", Ec_server.Session.solves session);
+              ("certified", !certified);
+              ("retried", !retried);
+              ("degraded", !degraded) ] )
+      | _ -> None)
+
+(* Default engine list: one config string per engine.  The heuristic
+   runs in first-feasible mode — its full objective-improvement mode
+   burns the whole flip budget on every (satisfiable) cell for no
+   extra information. *)
+let default_matrix_engines =
+  [ "cdcl"; "dpll"; "bnb"; "heuristic:stop_at_first_feasible=true"; "maxsat"; "simplex" ]
+
+let run_matrix args =
+  section "Benchmark matrix";
+  let commit =
+    match args.commit with
+    | Some c -> c
+    | None -> ( try Sys.getenv "ECSAT_COMMIT" with Not_found -> "dev")
+  in
+  let cores = Ec_harness.Matrix.cores_online () in
+  Printf.printf "  commit %s, cores_online %d, store %s\n%!" commit cores args.store;
+  let engine_specs =
+    match args.matrix_engines with [] -> default_matrix_engines | specs -> specs
+  in
+  let engines =
+    List.map
+      (fun s ->
+        match Ec_core.Engine_config.parse s with
+        | Ok e -> e
+        | Error e -> failwith e (* parse-validated in parse_args *))
+      engine_specs
+  in
+  let scenarios = Ec_harness.Matrix.builtins @ [ serve_scenario ] in
+  let baseline =
+    match Ec_harness.Matrix.load ~path:args.store with
+    | Ok cells -> cells
+    | Error e ->
+      Printf.eprintf "bench: cannot load results store: %s\n" e;
+      exit 2
+  in
+  let cells =
+    List.concat_map
+      (fun scenario ->
+        List.concat_map
+          (fun engine ->
+            List.filter_map
+              (fun scale ->
+                match Ec_harness.Matrix.run_cell ~commit scenario engine ~scale with
+                | None -> None
+                | Some cell ->
+                  Printf.printf "  %-7s %-32s scale %3d  ok %-5b %7.3fs  %s\n%!"
+                    cell.Ec_harness.Matrix.scenario cell.Ec_harness.Matrix.config
+                    scale cell.Ec_harness.Matrix.ok cell.Ec_harness.Matrix.wall_s
+                    (String.concat " "
+                       (List.filter_map
+                          (fun (k, v) -> if v = 0 then None else Some (Printf.sprintf "%s=%d" k v))
+                          cell.Ec_harness.Matrix.work));
+                  Some cell)
+              args.matrix_scales)
+          engines)
+      scenarios
+  in
+  Printf.printf "  %d cells measured\n" (List.length cells);
+  let gate_wall = cores > 1 in
+  if not gate_wall then
+    Printf.printf
+      "  cores_online = %d <= 1: wall-time gate SKIPPED (deterministic work counters still gated)\n"
+      cores;
+  let verdicts =
+    Ec_harness.Matrix.gate
+      ~options:{ Ec_harness.Matrix.default_gate_options with gate_wall }
+      ~baseline cells
+  in
+  let failures =
+    List.filter (fun v -> not v.Ec_harness.Matrix.passed) verdicts
+  in
+  List.iter
+    (fun v ->
+      let c = v.Ec_harness.Matrix.cell in
+      if not v.Ec_harness.Matrix.passed then
+        Printf.printf "  GATE FAIL %s/%s@%d: %s\n" c.Ec_harness.Matrix.scenario
+          c.Ec_harness.Matrix.config c.Ec_harness.Matrix.scale
+          (String.concat "; " v.Ec_harness.Matrix.notes))
+    verdicts;
+  let without_baseline =
+    List.length (List.filter (fun v -> v.Ec_harness.Matrix.baseline = None) verdicts)
+  in
+  Printf.printf "  gate: %d/%d cells passed (%d without baseline)\n"
+    (List.length verdicts - List.length failures)
+    (List.length verdicts) without_baseline;
+  (match Ec_harness.Matrix.append ~path:args.store cells with
+  | Ok () -> Printf.printf "  appended %d cells to %s\n" (List.length cells) args.store
+  | Error e ->
+    Printf.eprintf "bench: cannot append to results store: %s\n" e;
+    exit 2);
+  if failures <> [] && not args.no_gate then exit 1
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
@@ -726,7 +916,8 @@ let () =
     "ILP-based engineering change — bench harness (scale %.2f, %d trials%s)\n"
     config.Ec_harness.Protocol.scale config.trials
     (if args.paper then ", PAPER-SCALE RUN" else "");
-  if args.jobs > 1 then run_portfolio args config
+  if args.matrix then run_matrix args
+  else if args.jobs > 1 then run_portfolio args config
   else begin
     if not args.skip_tables then run_tables args config;
     if args.maxsat then run_maxsat args config;

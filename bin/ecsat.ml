@@ -20,16 +20,57 @@ let backend_conv =
   let parse = function
     | "cdcl" -> Ok Ec_core.Backend.cdcl
     | "dpll" -> Ok Ec_core.Backend.dpll
-    | "ilp" -> Ok Ec_core.Backend.ilp_exact
-    | "heuristic" -> Ok Ec_core.Backend.ilp_heuristic
-    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (cdcl|dpll|ilp|heuristic)" s))
+    | "ilp" | "bnb" | "ilp-bnb" -> Ok Ec_core.Backend.ilp_exact
+    | "heuristic" | "ilp-heuristic" -> Ok Ec_core.Backend.ilp_heuristic
+    | "maxsat" -> Ok Ec_core.Backend.maxsat
+    | s ->
+      Error (`Msg (Printf.sprintf "unknown backend %S (cdcl|dpll|ilp|heuristic|maxsat)" s))
   in
   let print fmt b = Format.pp_print_string fmt (Ec_core.Backend.name b) in
   Arg.conv (parse, print)
 
 let backend =
-  let doc = "Solver backend: $(b,cdcl), $(b,dpll), $(b,ilp) or $(b,heuristic)." in
+  let doc =
+    "Solver backend: $(b,cdcl), $(b,dpll), $(b,ilp) (alias $(b,bnb)), \
+     $(b,heuristic) or $(b,maxsat)."
+  in
   Arg.(value & opt backend_conv Ec_core.Backend.cdcl & info [ "backend"; "b" ] ~doc)
+
+let engine_opt_arg =
+  let doc =
+    "Tune the selected backend: one $(b,KEY=VAL) pair from the engine's config \
+     spec (e.g. $(b,--engine-opt var_decay=0.85) for cdcl, \
+     $(b,--engine-opt branching=first-unfixed) for ilp).  Repeatable; unknown \
+     keys are rejected before any file is read.  The resulting canonical \
+     config and its digest are echoed as a comment line, so any run can be \
+     reproduced and matched against the benchmark matrix's results store."
+  in
+  Arg.(value & opt_all string [] & info [ "engine-opt" ] ~docv:"KEY=VAL" ~doc)
+
+(* [--engine-opt] is validated before any file is read — the
+   [check_jobs] convention: an unknown key or malformed value fails in
+   milliseconds with a diagnostic on stderr and exit 2. *)
+let apply_engine_opts backend opts =
+  if opts = [] then backend
+  else
+    match Ec_core.Engine_config.apply_all (Ec_core.Backend.to_config backend) opts with
+    | Error e ->
+      Printf.eprintf "ecsat: --engine-opt: %s\n" e;
+      exit 2
+    | Ok c -> (
+      match Ec_core.Backend.of_config c with
+      | Ok b -> b
+      | Error e ->
+        Printf.eprintf "ecsat: --engine-opt: %s\n" e;
+        exit 2)
+
+(* Echoed by every command that accepts [--engine-opt]: the canonical
+   config string reproduces the run, the digest keys it into the
+   benchmark matrix's results store. *)
+let print_engine_config backend =
+  let c = Ec_core.Backend.to_config backend in
+  Printf.printf "c engine-config=%s digest=%s\n" (Ec_core.Engine_config.show c)
+    (Ec_core.Engine_config.digest c)
 
 let add_clauses_arg =
   let doc =
@@ -196,10 +237,12 @@ let report_solution ?verify f = function
 (* ---- solve ---- *)
 
 let solve_cmd =
-  let run file backend timeout conflicts verify jobs trace metrics =
+  let run file backend engine_opts timeout conflicts verify jobs trace metrics =
     check_jobs jobs;
+    let backend = apply_engine_opts backend engine_opts in
     install_interrupt_handlers ();
     with_observability ~trace ~metrics @@ fun () ->
+    print_engine_config backend;
     let f = load file in
     if jobs > 1 then begin
       let racers = Ec_core.Backend.default_portfolio ~prefer:backend ~jobs () in
@@ -233,8 +276,8 @@ let solve_cmd =
   in
   let doc = "solve a DIMACS CNF instance" in
   Cmd.v (Cmd.info "solve" ~doc)
-    Term.(const run $ cnf_file $ backend $ timeout_arg $ conflicts_arg $ verify_arg
-          $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ cnf_file $ backend $ engine_opt_arg $ timeout_arg $ conflicts_arg
+          $ verify_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* ---- enable ---- *)
 
@@ -290,10 +333,12 @@ let with_initial file backend k =
   | Some init -> k f init
 
 let fast_cmd =
-  let run file backend add eliminate timeout conflicts verify jobs trace metrics =
+  let run file backend engine_opts add eliminate timeout conflicts verify jobs trace metrics =
     check_jobs jobs;
+    let backend = apply_engine_opts backend engine_opts in
     install_interrupt_handlers ();
     with_observability ~trace ~metrics @@ fun () ->
+    print_engine_config backend;
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
         let r =
@@ -312,8 +357,8 @@ let fast_cmd =
   in
   let doc = "apply changes and re-solve with fast EC (paper \xc2\xa76, Figure 2)" in
   Cmd.v (Cmd.info "fast" ~doc)
-    Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ timeout_arg
-          $ conflicts_arg $ verify_arg $ jobs_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ cnf_file $ backend $ engine_opt_arg $ add_clauses_arg $ eliminate_arg
+          $ timeout_arg $ conflicts_arg $ verify_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* [--engine] names are validated before any file is read — the
    [check_jobs] convention: an unknown name fails in milliseconds with
@@ -330,7 +375,8 @@ let preserving_engine_of_name = function
     exit 2
 
 let preserve_cmd =
-  let run file backend add eliminate use_sat engine_name timeout conflicts verify =
+  let run file backend engine_opts add eliminate use_sat engine_name timeout conflicts verify =
+    let backend = apply_engine_opts backend engine_opts in
     let engine =
       match engine_name with
       | Some name -> preserving_engine_of_name name
@@ -338,6 +384,7 @@ let preserve_cmd =
         if use_sat then Ec_core.Preserving.Sat_cardinality Ec_sat.Cdcl.default_options
         else Ec_core.Preserving.default_engine
     in
+    print_engine_config backend;
     with_initial file backend (fun _f init ->
         let script = changes_of add eliminate in
         let r =
@@ -368,8 +415,9 @@ let preserve_cmd =
   in
   let doc = "apply changes and re-solve with preserving EC (paper \xc2\xa77)" in
   Cmd.v (Cmd.info "preserve" ~doc)
-    Term.(const run $ cnf_file $ backend $ add_clauses_arg $ eliminate_arg $ use_sat
-          $ engine_name $ timeout_arg $ conflicts_arg $ verify_arg)
+    Term.(const run $ cnf_file $ backend $ engine_opt_arg $ add_clauses_arg
+          $ eliminate_arg $ use_sat $ engine_name $ timeout_arg $ conflicts_arg
+          $ verify_arg)
 
 (* ---- preprocess ---- *)
 

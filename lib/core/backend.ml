@@ -23,6 +23,30 @@ let name = function
   | Dpll _ -> "dpll"
   | Maxsat _ -> "maxsat"
 
+let of_config = function
+  | Engine_config.Cdcl o -> Ok (Cdcl o)
+  | Engine_config.Dpll o -> Ok (Dpll o)
+  | Engine_config.Bnb o -> Ok (Ilp_exact o)
+  | Engine_config.Heuristic o -> Ok (Ilp_heuristic o)
+  | Engine_config.Maxsat o -> Ok (Maxsat o)
+  | Engine_config.Simplex _ ->
+    Error "simplex is a continuous LP engine, not a feasibility backend"
+
+let to_config = function
+  | Cdcl o -> Engine_config.Cdcl o
+  | Dpll o -> Engine_config.Dpll o
+  | Ilp_exact o -> Engine_config.Bnb o
+  | Ilp_heuristic o -> Engine_config.Heuristic o
+  | Maxsat o -> Engine_config.Maxsat o
+
+(* Catalog entries and diversified fill-ins are authored on the config
+   plane; a parse or mapping failure there is a programming error, not
+   a runtime condition. *)
+let of_config_exn c =
+  match of_config c with Ok t -> t | Error e -> invalid_arg ("Backend.of_config: " ^ e)
+
+let diversified_cdcl i = of_config_exn (Engine_config.diversified_cdcl i)
+
 let with_phase_hint t hint =
   match t with
   | Cdcl options -> Cdcl { options with phase_hint = Some hint }
@@ -474,25 +498,20 @@ let reset_wins () =
    restart cadences make racers explore different parts of the search
    space, which is where a portfolio's wall-clock advantage comes
    from. *)
-let cdcl_variant i =
-  let o = Ec_sat.Cdcl.default_options in
-  let decays = [| 0.95; 0.85; 0.99; 0.90 |] in
-  let restarts = [| 100; 64; 256; 150 |] in
-  Cdcl
-    { o with
-      Ec_sat.Cdcl.seed = reseed o.Ec_sat.Cdcl.seed i;
-      var_decay = decays.(i mod Array.length decays);
-      restart_base = restarts.(i mod Array.length restarts) }
-
 let default_portfolio ?prefer ~jobs () =
   let jobs = max 1 jobs in
+  let catalog_racer s =
+    match Engine_config.parse s with
+    | Ok c -> of_config_exn c
+    | Error e -> invalid_arg ("Backend.default_portfolio: " ^ e)
+  in
   let catalog =
     (match prefer with Some t -> [ t ] | None -> [])
-    @ [ cdcl; ilp_exact; cdcl_variant 1; ilp_heuristic; maxsat; cdcl_variant 2; dpll ]
+    @ List.map catalog_racer Engine_config.portfolio_catalog
   in
   let rec take n i = function
     | _ when n = 0 -> []
-    | [] -> cdcl_variant i :: take (n - 1) (i + 1) []
+    | [] -> diversified_cdcl i :: take (n - 1) (i + 1) []
     | t :: rest -> t :: take (n - 1) i rest
   in
   take jobs 3 catalog
@@ -500,7 +519,7 @@ let default_portfolio ?prefer ~jobs () =
 (* Grow a chain's stages into exactly [jobs] racers; extra slots are
    filled with diversified CDCL configurations. *)
 let expand_racers ~jobs stages =
-  let rec fill n i = if n = 0 then [] else cdcl_variant i :: fill (n - 1) (i + 1) in
+  let rec fill n i = if n = 0 then [] else diversified_cdcl i :: fill (n - 1) (i + 1) in
   let n = List.length stages in
   if n >= jobs then List.filteri (fun i _ -> i < jobs) stages
   else stages @ fill (jobs - n) 1

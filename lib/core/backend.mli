@@ -46,6 +46,17 @@ val name : t -> string
     "ilp-heuristic", "maxsat") — used in responses, traces and metric
     names. *)
 
+val of_config : Engine_config.t -> (t, string) result
+(** Backend for an engine configuration.  The config plane's [bnb]
+    and [heuristic] are [Ilp_exact] and [Ilp_heuristic] here;
+    [simplex] is [Error] (a continuous LP engine, not a feasibility
+    backend). *)
+
+val to_config : t -> Engine_config.t
+(** The backend's engine configuration — total, so any backend a
+    portfolio runs can be shown, digested and reproduced from the
+    command line ([Engine_config.show (to_config b)]). *)
+
 val observe_response : engine:string -> Ec_util.Budget.counters -> unit
 (** Record a solve's spend under the ["solve.<engine>.*"] metric
     counters (conflicts, decisions, pivots, restarts, iterations, plus
@@ -164,9 +175,13 @@ type portfolio_response = {
 
 val default_portfolio : ?prefer:t -> jobs:int -> unit -> t list
 (** A diversified racer list of length [max 1 jobs]: [prefer] (if
-    given) first, then default CDCL, branch & bound, CDCL variants
-    (distinct seeds / decay / restart base), the heuristic, the
-    core-guided MaxSAT engine, and DPLL. *)
+    given) first, then {!Engine_config.portfolio_catalog} parsed in
+    rank order — default CDCL, branch & bound, diversified CDCL
+    configurations (distinct seeds / decay / restart base), the
+    heuristic, the core-guided MaxSAT engine, DPLL — and, beyond the
+    catalog, further {!Engine_config.diversified_cdcl} fill-ins.
+    Every racer is a config-plane value: its exact configuration is
+    [Engine_config.show (to_config racer)]. *)
 
 val solve_portfolio :
   ?recover_dc:bool ->

@@ -1,0 +1,142 @@
+(** The benchmark matrix: engine configs × scenarios × scales, with a
+    persistent append-only results store and a trend-over-commits
+    regression gate.
+
+    Every benchmark number the documentation cites is one {!cell} of
+    this matrix, keyed by the commit it was measured at, the engine
+    config's {!Ec_core.Engine_config.digest}, the scenario name, the
+    scale and the machine's online core count.  Cells append to a
+    JSONL store ([bench/results.jsonl] in the repository) — never
+    overwritten, so the store is the measurement history and the gate
+    can compare any commit against the most recent prior one.
+
+    Determinism contract: a scenario run is budgeted by {e work}
+    dimensions only (conflicts, nodes, iterations — never wall time),
+    and its stream workloads only ever {e add} clauses satisfied by
+    the planted assignment, so the instance stays satisfiable at every
+    step and the work counters of two runs of the same (digest,
+    scenario, scale) on the same commit are bit-identical
+    single-threaded.  Wall time is recorded but is the only
+    hardware-sensitive column; the gate skips it on unsuitable hosts
+    (see {!gate_options.gate_wall}). *)
+
+(** {2 Cells} *)
+
+type cell = {
+  commit : string;       (** short commit hash, or ["dev"] *)
+  engine : string;       (** config-plane engine name, for grouping *)
+  config : string;       (** canonical {!Ec_core.Engine_config.show} *)
+  digest : string;       (** {!Ec_core.Engine_config.digest} — config key *)
+  scenario : string;
+  scale : int;
+  cores_online : int;    (** cores available when measured *)
+  ok : bool;             (** scenario-level success (e.g. all steps Sat) *)
+  work : (string * int) list;
+      (** deterministic work counters, name to value, in a fixed
+          order (conflicts, decisions, pivots, restarts, iterations) *)
+  wall_s : float;        (** the one hardware-sensitive column *)
+}
+
+val cell_to_json : cell -> string
+(** One-line JSON object — the store's record format. *)
+
+val cell_of_json : string -> (cell, string) result
+(** Inverse of {!cell_to_json}; tolerant of extra fields so the record
+    format can grow. *)
+
+(** {2 The store} *)
+
+val append : path:string -> cell list -> (unit, string) result
+(** Append cells to the JSONL store at [path], creating it if absent.
+    [Error] is the system message (unwritable path, full disk). *)
+
+val load : path:string -> (cell list, string) result
+(** All cells in file order (oldest first).  A missing file is
+    [Ok []]; a malformed line is [Error] naming the line number. *)
+
+(** {2 Scenarios} *)
+
+type scenario
+(** A named deterministic workload that an engine config runs at a
+    scale. *)
+
+val scenario_name : scenario -> string
+(** The name cells record in their [scenario] column. *)
+
+val scenario_doc : scenario -> string
+(** One-line description of the workload. *)
+
+val builtins : scenario list
+(** The in-library scenario families:
+
+    - ["stream"] — an engineering-change stream: a scaled paper
+      instance re-solved after each of several add-only clause
+      deltas (each delta satisfied by the planted assignment, so
+      every step stays SAT).  Feasibility backends only.
+    - ["tables"] — the Tables 1–3 instance suite (exact tier, scaled)
+      solved once per instance, the tables' "original solve" column.
+      Feasibility backends only.
+    - ["lp"] — deterministic random feasible bounded LPs solved with
+      the simplex engine; the [simplex] config's scenario.
+
+    The serve-session scenario lives in [bench/main.ml] (registered
+    via {!custom}) because the harness does not link the server. *)
+
+val find : string -> scenario list -> scenario option
+(** Look up by name in [builtins @ registered]. *)
+
+val custom :
+  name:string -> doc:string ->
+  run:(engine:Ec_core.Engine_config.t -> scale:int -> (bool * (string * int) list) option) ->
+  scenario
+(** A caller-supplied scenario; [run] returns [None] when the engine
+    pairing is unsupported (the cell is skipped), otherwise the
+    success flag and the deterministic work counters. *)
+
+(** {2 Running} *)
+
+val cores_online : unit -> int
+(** The host's available core count ([Domain.recommended_domain_count]),
+    recorded in every cell and consulted by the gate. *)
+
+val run_cell : commit:string -> scenario -> Ec_core.Engine_config.t -> scale:int -> cell option
+(** Run one cell; [None] when the scenario does not support the
+    engine (e.g. [simplex] × ["stream"]). *)
+
+(** {2 The regression gate} *)
+
+type gate_options = {
+  work_tolerance : float;
+      (** a deterministic work counter may grow to
+          [baseline * work_tolerance + 64] before failing *)
+  wall_tolerance : float;
+      (** wall time may grow to [baseline * wall_tolerance + 0.5] s *)
+  gate_wall : bool;
+      (** gate wall time at all — callers turn this off when
+          [cores_online <= 1] (a serialized portfolio makes wall time
+          meaningless) or when baseline and current cells disagree on
+          [cores_online] *)
+}
+
+val default_gate_options : gate_options
+(** [work_tolerance = 1.5], [wall_tolerance = 2.0], [gate_wall = true]. *)
+
+type verdict = {
+  cell : cell;
+  baseline : cell option;
+      (** the most recent stored cell with the same (digest, scenario,
+          scale) from a {e different} commit; [None] means nothing to
+          compare against (the cell passes vacuously) *)
+  passed : bool;
+  notes : string list;
+      (** human-readable reasons: failures, and skips (no baseline,
+          wall gate off) *)
+}
+
+val gate : ?options:gate_options -> baseline:cell list -> cell list -> verdict list
+(** Judge each current cell against the store.  Failure conditions:
+    an [ok] regression ([true] in the baseline, [false] now), a work
+    counter beyond tolerance, or — when [gate_wall] and both cells
+    agree on [cores_online] — wall time beyond tolerance.  Wall
+    comparisons across differing [cores_online] are skipped with a
+    note regardless of [gate_wall]. *)

@@ -53,14 +53,23 @@ val paper_config : config
 (** scale 1.0, uncapped.  Expect very long runs. *)
 
 val bnb_options : config -> Ec_ilpsolver.Bnb.options
+(** The exact tier's branch-and-bound options under this config:
+    {!Ec_ilpsolver.Bnb.default_options} capped by the config's safety
+    [budget] (table protocols layer their own 2002-era tweaks, e.g.
+    Table 1 disabling greedy completion, on top of this). *)
 
 val heuristic_options : config -> Ec_ilpsolver.Heuristic.options
+(** The heuristic tier's min-conflicts options under this config:
+    first-feasible mode, the config's seed and safety [budget]. *)
 
 val instances : config -> Ec_instances.Registry.instance list
 (** Build the (scaled) suite — both tiers unless [include_large] is
     false. *)
 
 val is_heuristic_tier : Ec_instances.Registry.instance -> bool
+(** True for instances the paper's tables assign to the heuristic
+    solver (the large tier); drives the per-tier solver dispatch of
+    {!initial_solve}. *)
 
 val map_instances : config -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map over independent work items: in-order on the

@@ -35,6 +35,9 @@ type result = {
 }
 
 val run : ?progress:(string -> unit) -> Protocol.config -> result
+(** Run the Table 1 protocol (original / EC(SC) / EC(OF) solves per
+    instance) over the config's suite; [progress] receives one line
+    per instance as it completes. *)
 
 val render : result -> string
 (** Paper-style text table with average and median summary rows per

@@ -26,5 +26,9 @@ type result = {
 }
 
 val run : ?progress:(string -> unit) -> Protocol.config -> result
+(** Run the Table 2 protocol (change trials + fast-EC cone re-solves
+    per instance) over the config's suite; [progress] receives one
+    line per instance. *)
 
 val render : result -> string
+(** Paper-style text table with average summary rows per tier. *)

@@ -26,5 +26,9 @@ type row = {
 type result = { rows : row list }
 
 val run : ?progress:(string -> unit) -> Protocol.config -> result
+(** Run the Table 3 protocol (change trials, accidental-preservation
+    baseline vs preserving EC) over the config's suite; [progress]
+    receives one line per instance. *)
 
 val render : result -> string
+(** Paper-style text table with average and median summary rows. *)

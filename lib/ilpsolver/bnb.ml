@@ -17,6 +17,33 @@ let default_options =
     greedy_completion = true;
     tie_seed = None }
 
+(* Tunable surface for the unified config plane.  Budget stays outside
+   the spec (per-solve runtime state); tie_seed uses the "none"
+   sentinel so the deterministic default round-trips. *)
+let config =
+  Ec_util.Config.make ~engine:"bnb"
+    ~doc:"branch-and-bound 0-1 ILP optimizer (plays the paper's CPLEX role)"
+    ~defaults:default_options
+    [ Ec_util.Config.enum "branching" ~doc:"variable-selection heuristic"
+        ~values:
+          [ ("first-unfixed", First_unfixed); ("most-constrained", Most_constrained) ]
+        ~get:(fun o -> o.branching)
+        ~set:(fun v o -> { o with branching = v });
+      Ec_util.Config.bool "use_lp_bounding" ~doc:"LP-relaxation bounding near the root"
+        ~get:(fun o -> o.use_lp_bounding)
+        ~set:(fun v o -> { o with use_lp_bounding = v });
+      Ec_util.Config.int "lp_max_depth" ~doc:"LP bound applied at depths <= this"
+        ~get:(fun o -> o.lp_max_depth)
+        ~set:(fun v o -> { o with lp_max_depth = v });
+      Ec_util.Config.bool "greedy_completion"
+        ~doc:"finish dominated subtrees greedily by objective sign"
+        ~get:(fun o -> o.greedy_completion)
+        ~set:(fun v o -> { o with greedy_completion = v });
+      Ec_util.Config.int_opt "tie_seed"
+        ~doc:"randomize exact branching-score ties (\"none\" = deterministic)"
+        ~get:(fun o -> o.tie_seed)
+        ~set:(fun v o -> { o with tie_seed = v }) ]
+
 type stats = {
   nodes : int;
   conflicts : int;

@@ -43,6 +43,12 @@ val default_options : options
 (** [Most_constrained], no LP bounding, greedy completion on, no
     limits. *)
 
+val config : options Ec_util.Config.spec
+(** Tunable surface for the unified config plane: [branching]
+    ([first-unfixed]|[most-constrained]), [use_lp_bounding],
+    [lp_max_depth], [greedy_completion], [tie_seed] (["none"] =
+    deterministic).  The budget stays outside the spec. *)
+
 type stats = {
   nodes : int;
   conflicts : int;

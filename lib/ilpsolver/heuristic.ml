@@ -14,6 +14,33 @@ let default_options =
     stop_at_first_feasible = false; initial_point = None;
     budget = Ec_util.Budget.unlimited }
 
+(* Tunable surface for the unified config plane.  The budget and
+   initial_point (a warm-start array, per-solve runtime state) stay
+   outside the spec. *)
+let config =
+  Ec_util.Config.make ~engine:"heuristic"
+    ~doc:"min-conflicts local search for 0-1 models (WalkSAT-style)"
+    ~defaults:default_options
+    [ Ec_util.Config.int "max_flips" ~doc:"flips per restart"
+        ~get:(fun o -> o.max_flips)
+        ~set:(fun v o -> { o with max_flips = v });
+      Ec_util.Config.int "max_restarts" ~doc:"random restarts before giving up"
+        ~get:(fun o -> o.max_restarts)
+        ~set:(fun v o -> { o with max_restarts = v });
+      Ec_util.Config.float "noise" ~doc:"probability of a random (non-greedy) flip"
+        ~get:(fun o -> o.noise)
+        ~set:(fun v o -> { o with noise = v });
+      Ec_util.Config.int "tabu_tenure" ~doc:"flips during which re-flipping is discouraged"
+        ~get:(fun o -> o.tabu_tenure)
+        ~set:(fun v o -> { o with tabu_tenure = v });
+      Ec_util.Config.int "seed" ~doc:"random-walk seed"
+        ~get:(fun o -> o.seed)
+        ~set:(fun v o -> { o with seed = v });
+      Ec_util.Config.bool "stop_at_first_feasible"
+        ~doc:"return on the first feasible point instead of improving the objective"
+        ~get:(fun o -> o.stop_at_first_feasible)
+        ~set:(fun v o -> { o with stop_at_first_feasible = v }) ]
+
 type stats = {
   flips : int;
   restarts : int;

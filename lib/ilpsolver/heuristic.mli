@@ -35,6 +35,12 @@ type options = {
 
 val default_options : options
 
+val config : options Ec_util.Config.spec
+(** Tunable surface for the unified config plane: [max_flips],
+    [max_restarts], [noise], [tabu_tenure], [seed],
+    [stop_at_first_feasible].  The budget and [initial_point] warm
+    start are per-solve runtime state and stay outside the spec. *)
+
 type stats = {
   flips : int;
   restarts : int;

@@ -13,6 +13,23 @@ let default_options =
     phase_hint = None;
     seed = 91 }
 
+(* Tunable surface for the unified config plane (Ec_util.Config).
+   Budget and phase_hint stay outside the spec: they are per-solve
+   runtime state, not algorithm shape. *)
+let config =
+  Ec_util.Config.make ~engine:"cdcl"
+    ~doc:"clause-learning SAT solver (VSIDS, Luby restarts, phase saving)"
+    ~defaults:default_options
+    [ Ec_util.Config.float "var_decay" ~doc:"VSIDS activity decay per conflict"
+        ~get:(fun o -> o.var_decay)
+        ~set:(fun v o -> { o with var_decay = v });
+      Ec_util.Config.int "restart_base" ~doc:"conflicts per Luby restart unit"
+        ~get:(fun o -> o.restart_base)
+        ~set:(fun v o -> { o with restart_base = v });
+      Ec_util.Config.int "seed" ~doc:"initial variable-order randomization seed"
+        ~get:(fun o -> o.seed)
+        ~set:(fun v o -> { o with seed = v }) ]
+
 type stats = {
   decisions : int;
   propagations : int;

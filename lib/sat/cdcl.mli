@@ -28,6 +28,11 @@ type options = {
 
 val default_options : options
 
+val config : options Ec_util.Config.spec
+(** Tunable surface for the unified config plane: [var_decay],
+    [restart_base], [seed].  The budget and [phase_hint] are per-solve
+    runtime state and deliberately stay outside the spec. *)
+
 type stats = {
   decisions : int;
   propagations : int;

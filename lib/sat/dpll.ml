@@ -2,6 +2,14 @@ type options = { budget : Ec_util.Budget.t }
 
 let default_options = { budget = Ec_util.Budget.unlimited }
 
+(* The reference solver is deliberately knob-free: an empty spec still
+   participates in the config plane (show/parse/digest) so the matrix
+   can key dpll cells like any other engine. *)
+let config =
+  Ec_util.Config.make ~engine:"dpll"
+    ~doc:"reference DPLL solver (chronological backtracking)"
+    ~defaults:default_options []
+
 type response = {
   outcome : Outcome.t;
   reason : Ec_util.Budget.reason;

@@ -14,6 +14,10 @@ type options = {
 
 val default_options : options
 
+val config : options Ec_util.Config.spec
+(** Empty spec — the reference solver has no tunables — kept so dpll
+    participates uniformly in the config plane (show/parse/digest). *)
+
 type response = {
   outcome : Outcome.t;
   reason : Ec_util.Budget.reason;

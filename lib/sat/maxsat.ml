@@ -14,6 +14,22 @@ type options = {
 
 let default_options = { cdcl = Cdcl.default_options; budget = Ec_util.Budget.unlimited }
 
+(* The optimizer's knobs are the underlying session's: flatten the CDCL
+   fields into this spec so "maxsat:var_decay=0.9" reads naturally. *)
+let config =
+  Ec_util.Config.make ~engine:"maxsat"
+    ~doc:"core-guided MaxSAT over one incremental CDCL session"
+    ~defaults:default_options
+    [ Ec_util.Config.float "var_decay" ~doc:"session VSIDS activity decay"
+        ~get:(fun o -> o.cdcl.Cdcl.var_decay)
+        ~set:(fun v o -> { o with cdcl = { o.cdcl with Cdcl.var_decay = v } });
+      Ec_util.Config.int "restart_base" ~doc:"session conflicts per Luby restart unit"
+        ~get:(fun o -> o.cdcl.Cdcl.restart_base)
+        ~set:(fun v o -> { o with cdcl = { o.cdcl with Cdcl.restart_base = v } });
+      Ec_util.Config.int "seed" ~doc:"session variable-order randomization seed"
+        ~get:(fun o -> o.cdcl.Cdcl.seed)
+        ~set:(fun v o -> { o with cdcl = { o.cdcl with Cdcl.seed = v } }) ]
+
 type stats = {
   sat_calls : int;
   cores : int;

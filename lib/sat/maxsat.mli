@@ -26,6 +26,11 @@ type options = {
 
 val default_options : options
 
+val config : options Ec_util.Config.spec
+(** Tunable surface: the underlying CDCL session's [var_decay],
+    [restart_base] and [seed], flattened so [maxsat:var_decay=0.9]
+    reads naturally.  Budgets stay outside the spec. *)
+
 (** Deterministic work counters, the bench currency. *)
 type stats = {
   sat_calls : int;        (** incremental solver queries issued *)

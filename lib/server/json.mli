@@ -1,40 +1,10 @@
-(** Minimal JSON values for the serve protocol.
+(** Serve-side alias of {!Ec_util.Json}.
 
-    The daemon speaks JSON Lines over stdio or a socket; the container
-    ships no JSON library, so this is a small self-contained parser
-    and printer — enough for the protocol's objects of scalars,
-    strings and (nested) integer arrays, with the hostile-input guards
-    a network-facing loop needs: a recursion-depth bound, full escape
-    handling (including [\uXXXX] with surrogate pairs), and precise
-    error positions for the structured [parse] error responses. *)
+    The JSON parser/printer started life here (the daemon's wire
+    format) and moved to [lib/util] when the benchmark matrix's
+    results store needed the same parser; this alias preserves the
+    daemon's internal [Json.*] spelling and its type equalities. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-val parse : string -> (t, string) result
-(** Parse one JSON document; trailing whitespace allowed, trailing
-    garbage rejected.  [Error msg] carries a byte offset.  Nesting is
-    bounded (defense against ["[[[[..."] stack bombs). *)
-
-val to_string : t -> string
-(** Compact one-line rendering; object keys keep insertion order, so a
-    response built from the same fields is byte-identical across runs
-    (the serve chaos test diffs healthy-session responses). *)
-
-(** {2 Accessors} — shallow, total helpers for request decoding. *)
-
-val member : string -> t -> t option
-(** Field of an object; [None] for absent fields or non-objects. *)
-
-val to_string_opt : t -> string option
-
-val to_int_opt : t -> int option
-(** [Int] only — the protocol has no fractional fields. *)
-
-val to_list_opt : t -> t list option
+include module type of struct
+  include Ec_util.Json
+end

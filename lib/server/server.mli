@@ -55,6 +55,7 @@ val run : config -> Unix.file_descr -> Unix.file_descr -> int
     process exit code (0 on a clean drain). *)
 
 val run_stdio : config -> int
+(** [run] over stdin/stdout — the CLI's default endpoint. *)
 
 val run_unix_socket : config -> string -> int
 (** Listen on a Unix-domain socket path (an existing file at the path

@@ -24,14 +24,22 @@
 type t
 
 val create : name:string -> Ec_cnf.Formula.t -> t
+(** A fresh session holding the formula, with no pins, no model and a
+    cold engine. *)
 
 val name : t -> string
+(** The client-chosen session name (the routing key of the wire
+    protocol). *)
 
 val formula : t -> Ec_cnf.Formula.t
+(** The current formula, all deltas applied. *)
 
 val num_vars : t -> int
+(** Variable count of {!formula} (the range pins are checked
+    against). *)
 
 val num_clauses : t -> int
+(** Clause count of {!formula}. *)
 
 val add_clauses : t -> Ec_cnf.Clause.t list -> unit
 (** Apply add-clause deltas to the formula and the warm engine (learnt
@@ -48,6 +56,8 @@ val pin : t -> Ec_cnf.Lit.t list -> (unit, string) result
     variable above the session's range. *)
 
 val pins : t -> Ec_cnf.Lit.t list
+(** The literals currently assumed by every solve (empty when
+    unpinned). *)
 
 val last_model : t -> Ec_cnf.Assignment.t option
 (** The most recent certified model, if any solve produced one. *)
@@ -56,6 +66,7 @@ val revision : t -> int
 (** Bumped by every mutating operation (deltas and pins). *)
 
 val solves : t -> int
+(** How many solve requests this session has answered. *)
 
 val is_degraded : t -> bool
 (** Did the most recent solve degrade (containment path)? *)

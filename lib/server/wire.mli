@@ -57,11 +57,17 @@ val parse_request : string -> (request, reject) result
     order is fixed, so identical answers are byte-identical. *)
 
 val ok : ?session:string -> id:Json.t -> (string * Json.t) list -> string
+(** [{"id":...,"session":...,"status":"ok",<extra fields>}] — the
+    generic success answer (create/add/remove/pin/close/health). *)
 
 val error : ?session:string -> id:Json.t -> string -> string
+(** ["status":"error"] with the reason — rejects and per-request
+    failures; the connection stays up. *)
 
 val overloaded :
   ?session:string -> id:Json.t -> retry_after_ms:int -> unit -> string
+(** ["status":"overloaded"] — backpressure shed at enqueue time, with
+    the deterministic retry hint. *)
 
 val sat :
   ?session:string ->
@@ -76,6 +82,9 @@ val sat :
     variables, ascending; don't-cares are omitted. *)
 
 val unsat : ?session:string -> id:Json.t -> degraded:bool -> unit -> string
+(** ["status":"unsat"] (under the session's pins, if any). *)
 
 val unknown :
   ?session:string -> id:Json.t -> reason:string -> degraded:bool -> unit -> string
+(** ["status":"unknown"] with the structured stop reason (deadline,
+    budget, engine-failure containment). *)

@@ -90,10 +90,28 @@ let leaving t col =
 
 type phase_outcome = Opt | Unbound
 
+type options = {
+  bland_factor : int;
+  budget : Ec_util.Budget.t;
+}
+
+let default_options = { bland_factor = 50; budget = Ec_util.Budget.unlimited }
+
+(* Tunable surface for the unified config plane.  Budget stays outside
+   the spec (per-solve runtime state). *)
+let config =
+  Ec_util.Config.make ~engine:"simplex"
+    ~doc:"primal simplex over a dense tableau (LP engine under bnb)"
+    ~defaults:default_options
+    [ Ec_util.Config.int "bland_factor"
+        ~doc:"Dantzig-to-Bland switch after factor*(rows+cols+10) pivots"
+        ~get:(fun o -> o.bland_factor)
+        ~set:(fun v o -> { o with bland_factor = v }) ]
+
 (* [check] is consulted before each pivot; a budget verdict aborts the
    phase via {!Cut_exn}. *)
-let optimize t ~allowed ~check =
-  let bland_threshold = 50 * (Array.length t.rows + t.ncols + 10) in
+let optimize t ~bland_factor ~allowed ~check =
+  let bland_threshold = bland_factor * (Array.length t.rows + t.ncols + 10) in
   let rec loop iter =
     let bland = iter > bland_threshold in
     let col = entering t ~bland ~allowed in
@@ -109,9 +127,17 @@ let optimize t ~allowed ~check =
   in
   loop 0
 
-let solve_canonical ?(budget = Ec_util.Budget.unlimited) ~a ~b ~c () =
+let solve_canonical ?(options = default_options) ?budget ~a ~b ~c () =
   Ec_util.Fault.maybe_raise "simplex.solve";
+  (* A direct [?budget] intersects with the options' budget for this
+     call only — same convention as the incremental SAT session. *)
+  let budget =
+    match budget with
+    | None -> options.budget
+    | Some b -> Ec_util.Budget.combine options.budget b
+  in
   let budget = Ec_util.Fault.burn "simplex.solve" budget in
+  let bland_factor = options.bland_factor in
   let gauge = Ec_util.Budget.start budget in
   let pivots = counter () in
   let pivots0 = !pivots in
@@ -166,7 +192,7 @@ let solve_canonical ?(budget = Ec_util.Budget.unlimited) ~a ~b ~c () =
       (* Artificial columns themselves must not re-enter: obj entry for
          them is 1 + ... ; mark them disallowed instead. *)
       let is_art j = j >= n + m in
-      (match optimize t ~allowed:(fun j -> not (is_art j)) ~check with
+      (match optimize t ~bland_factor ~allowed:(fun j -> not (is_art j)) ~check with
       | Unbound -> (* Phase I is bounded by construction *) assert false
       | Opt -> ());
       (* Residual infeasibility = value still carried by basic
@@ -216,7 +242,7 @@ let solve_canonical ?(budget = Ec_util.Budget.unlimited) ~a ~b ~c () =
         end)
       t.basis;
     let is_art j = j >= n + m in
-    match optimize t ~allowed:(fun j -> not (is_art j)) ~check with
+    match optimize t ~bland_factor ~allowed:(fun j -> not (is_art j)) ~check with
     | Unbound -> Unbounded
     | Opt ->
       let point = Array.make n 0.0 in
@@ -230,7 +256,7 @@ let solve_canonical ?(budget = Ec_util.Budget.unlimited) ~a ~b ~c () =
   end
   with Cut_exn r -> Interrupted r
 
-let solve_model ?budget model =
+let solve_model ?options ?budget model =
   let n = Ec_ilp.Model.num_vars model in
   (* Gather upper bounds as extra rows; lower bounds must be 0. *)
   let extra_rows = ref [] in
@@ -274,7 +300,7 @@ let solve_model ?budget model =
   List.iter (fun (cf, v) -> c.(v) <- c.(v) +. cf) (Ec_ilp.Linexpr.terms obj_expr);
   let flip = match sense with Ec_ilp.Model.Minimize -> -1.0 | Ec_ilp.Model.Maximize -> 1.0 in
   let c_solve = Array.map (fun x -> flip *. x) c in
-  match solve_canonical ?budget ~a ~b ~c:c_solve () with
+  match solve_canonical ?options ?budget ~a ~b ~c:c_solve () with
   | Infeasible -> Ec_ilp.Solution.infeasible
   | Unbounded -> Ec_ilp.Solution.unbounded
   | Interrupted _ -> Ec_ilp.Solution.unknown

@@ -12,6 +12,23 @@
     continuous {!Ec_ilp.Model.t} (equalities, >= rows, variable upper
     bounds) into that form first. *)
 
+type options = {
+  bland_factor : int;
+      (** Dantzig pricing switches to Bland's rule after
+          [bland_factor * (rows + cols + 10)] pivots; higher keeps the
+          faster heuristic longer, 0 is pure Bland from the start *)
+  budget : Ec_util.Budget.t;
+      (** pivots draw on the [iterations] dimension; the deadline and
+          cancellation flag are checked once per pivot *)
+}
+
+val default_options : options
+(** [bland_factor = 50], no limits. *)
+
+val config : options Ec_util.Config.spec
+(** Tunable surface for the unified config plane: [bland_factor].
+    The budget stays outside the spec. *)
+
 type result =
   | Optimal of { point : float array; objective : float }
   | Infeasible
@@ -20,16 +37,18 @@ type result =
       (** the budget cut the solve off mid-phase; no verdict *)
 
 val solve_canonical :
-  ?budget:Ec_util.Budget.t ->
+  ?options:options -> ?budget:Ec_util.Budget.t ->
   a:float array array -> b:float array -> c:float array -> unit -> result
 (** [solve_canonical ~a ~b ~c ()] solves [max c·x, a·x <= b, x >= 0].
     Rows of [a] must all have length [Array.length c]; [b] matches the
     row count.  Negative entries of [b] are handled by Phase I.
-    Pivots draw on the budget's [iterations] dimension; the deadline
-    and cancellation flag are checked once per pivot.
+    A direct [?budget] is intersected with the options' budget for
+    this call only (the per-call allowance convention shared with the
+    incremental SAT session).
     @raise Invalid_argument on dimension mismatches. *)
 
-val solve_model : ?budget:Ec_util.Budget.t -> Ec_ilp.Model.t -> Ec_ilp.Solution.t
+val solve_model :
+  ?options:options -> ?budget:Ec_util.Budget.t -> Ec_ilp.Model.t -> Ec_ilp.Solution.t
 (** LP-solve a model, treating [Binary] variables as continuous in
     [0, 1] (callers wanting the relaxation of an ILP can pass the model
     directly).  Lower bounds must be 0 — the encodings in this

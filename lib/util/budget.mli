@@ -32,6 +32,8 @@ type reason =
           stage still gets a chance. *)
 
 val reason_to_string : reason -> string
+(** Short lowercase rendering for logs and [c] comment lines
+    (e.g. ["deadline"], ["engine-failure(cdcl: ...)"]). *)
 
 type t = {
   time_s : float option;     (** wall-clock allowance, seconds *)
@@ -51,6 +53,9 @@ val unlimited : t
 val create :
   ?time_s:float -> ?conflicts:int -> ?nodes:int -> ?iterations:int ->
   ?cancel:bool Atomic.t -> unit -> t
+(** A budget limited in exactly the dimensions given; omitted
+    dimensions are unlimited.  [~cancel] shares an existing
+    cancellation flag (otherwise the budget gets a fresh one). *)
 
 val of_time : float -> t
 (** [of_time s] = [create ~time_s:s ()]. *)
@@ -70,6 +75,8 @@ val cancel : t -> unit
     without [~cancel], e.g. {!unlimited}). *)
 
 val cancelled : t -> bool
+(** Whether the budget's own cancellation flag has been raised (does
+    not consult the process-wide interrupt line). *)
 
 (** {2 Process-wide interrupt}
 
@@ -90,6 +97,7 @@ val clear_interrupt : unit -> unit
 (** Lower the line again (tests; a CLI process exits instead). *)
 
 val interrupted : unit -> bool
+(** Whether the process-wide interrupt line is currently raised. *)
 
 val combine : t -> t -> t
 (** Tightest of two budgets in every dimension.  The cancellation flag
@@ -109,8 +117,11 @@ type counters = {
 }
 
 val zero : counters
+(** All counters at zero — the identity of {!add}. *)
 
 val add : counters -> counters -> counters
+(** Component-wise sum: how chain and portfolio responses aggregate
+    the spend of their stages/racers. *)
 
 val consume : t -> counters -> t
 (** Remaining budget after the given expenditure, clamped at zero in
@@ -129,6 +140,8 @@ val consume : t -> counters -> t
 type gauge
 
 val start : t -> gauge
+(** Arm the budget for one solve: fixes the absolute deadline now and
+    resets the check-tick counter. *)
 
 val elapsed_s : gauge -> float
 (** Wall-clock seconds since {!start}. *)

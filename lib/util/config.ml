@@ -1,0 +1,157 @@
+(* Typed key=value configuration surface — see config.mli for the
+   contract.  A field packages a getter and a string-typed setter so a
+   spec can derive show/parse/to_args/of_args/digest from one
+   declaration per tunable. *)
+
+type 'a field = {
+  key : string;
+  field_doc : string;
+  show_value : 'a -> string;
+  set_value : 'a -> string -> ('a, string) result;
+  default_value : 'a -> string; (* show_value, used for [document] *)
+}
+
+type 'a spec = {
+  engine : string;
+  spec_doc : string;
+  spec_defaults : 'a;
+  fields : 'a field list;
+}
+
+(* Shortest decimal form that reparses to the identical float: %.12g
+   covers every value the engine defaults and CLI users produce; the
+   %.17g fallback is exact for everything else (17 significant digits
+   round-trip any double). *)
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let err key what input = Error (Printf.sprintf "%s: %s %S" key what input)
+
+let field key doc show set =
+  { key;
+    field_doc = doc;
+    show_value = show;
+    set_value = set;
+    default_value = show }
+
+let int key ~doc ~get ~set =
+  field key doc
+    (fun c -> string_of_int (get c))
+    (fun c s ->
+      match int_of_string_opt (String.trim s) with
+      | Some v -> Ok (set v c)
+      | None -> err key "expects an integer, got" s)
+
+let int_opt key ~doc ~get ~set =
+  field key doc
+    (fun c -> match get c with None -> "none" | Some v -> string_of_int v)
+    (fun c s ->
+      match String.trim s with
+      | "none" -> Ok (set None c)
+      | s -> (
+        match int_of_string_opt s with
+        | Some v -> Ok (set (Some v) c)
+        | None -> err key "expects an integer or \"none\", got" s))
+
+let float key ~doc ~get ~set =
+  field key doc
+    (fun c -> float_to_string (get c))
+    (fun c s ->
+      match float_of_string_opt (String.trim s) with
+      | Some v -> Ok (set v c)
+      | None -> err key "expects a float, got" s)
+
+let bool key ~doc ~get ~set =
+  field key doc
+    (fun c -> if get c then "true" else "false")
+    (fun c s ->
+      match String.trim s with
+      | "true" -> Ok (set true c)
+      | "false" -> Ok (set false c)
+      | s -> err key "expects true or false, got" s)
+
+let enum key ~doc ~values ~get ~set =
+  if values = [] then invalid_arg "Config.enum: empty value list";
+  let show c =
+    let v = get c in
+    match List.find_opt (fun (_, v') -> v' = v) values with
+    | Some (name, _) -> name
+    | None -> invalid_arg (Printf.sprintf "Config.enum %s: value outside [values]" key)
+  in
+  field key doc show (fun c s ->
+      match List.assoc_opt (String.trim s) values with
+      | Some v -> Ok (set v c)
+      | None ->
+        err key
+          (Printf.sprintf "expects one of %s, got"
+             (String.concat "|" (List.map fst values)))
+          s)
+
+let make ~engine ~doc ~defaults fields =
+  List.iteri
+    (fun i f ->
+      List.iteri
+        (fun j g ->
+          if i < j && f.key = g.key then
+            invalid_arg (Printf.sprintf "Config.make %s: duplicate key %S" engine f.key))
+        fields)
+    fields;
+  { engine; spec_doc = doc; spec_defaults = defaults; fields }
+
+let engine_name spec = spec.engine
+
+let doc spec = spec.spec_doc
+
+let defaults spec = spec.spec_defaults
+
+let keys spec = List.map (fun f -> (f.key, f.field_doc)) spec.fields
+
+let show spec c =
+  String.concat "," (List.map (fun f -> f.key ^ "=" ^ f.show_value c) spec.fields)
+
+let apply spec c pair =
+  match String.index_opt pair '=' with
+  | None -> Error (Printf.sprintf "expected KEY=VAL, got %S" pair)
+  | Some i ->
+    let key = String.trim (String.sub pair 0 i) in
+    let value = String.sub pair (i + 1) (String.length pair - i - 1) in
+    (match List.find_opt (fun f -> f.key = key) spec.fields with
+    | Some f -> f.set_value c value
+    | None ->
+      Error
+        (Printf.sprintf "%s: unknown option %S (known: %s)" spec.engine key
+           (match spec.fields with
+           | [] -> "none — this engine has no tunables"
+           | fs -> String.concat ", " (List.map (fun f -> f.key) fs))))
+
+let of_args spec args =
+  List.fold_left
+    (fun acc pair -> Result.bind acc (fun c -> apply spec c pair))
+    (Ok spec.spec_defaults) args
+
+let parse spec s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> of_args spec
+
+let to_args spec c = List.map (fun f -> f.key ^ "=" ^ f.show_value c) spec.fields
+
+let digest spec c = Digest.to_hex (Digest.string (spec.engine ^ "{" ^ show spec c ^ "}"))
+
+let document spec =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s — %s\n" spec.engine spec.spec_doc);
+  (match spec.fields with
+  | [] -> Buffer.add_string b "  (no tunables)\n"
+  | fields ->
+    List.iter
+      (fun f ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-24s %s (default %s)\n" f.key f.field_doc
+             (f.default_value spec.spec_defaults)))
+      fields);
+  Buffer.contents b

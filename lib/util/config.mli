@@ -1,0 +1,120 @@
+(** Typed key=value configuration surface for solver engines.
+
+    Every engine in the repository carries a native [options] record;
+    this module is the uniform way to expose the {e tunable} subset of
+    such a record on the command line, in the benchmark matrix and in
+    persisted results: a [spec] names each scalar field once (key,
+    documentation, getter, setter) and derives from that one
+    declaration a canonical textual form ([show]), its inverse
+    ([parse]), an argument-vector form ([to_args]/[of_args]) and a
+    stable content [digest] used to key benchmark cells.
+
+    The derived operations satisfy two round-trip laws, property-tested
+    per engine in [test_config.ml]:
+
+    - [parse spec (show spec c) = Ok c]
+    - [of_args spec (to_args spec c) = Ok c]
+
+    Runtime state that is not a scalar tunable — budgets, warm-start
+    hints, cancellation flags — deliberately stays {e outside} the
+    spec: those are composed per solve (e.g. [--timeout],
+    [Backend.with_budget]), so two solves with the same config digest
+    run the same algorithm even when their allowances differ.
+
+    Float fields render through {!float_to_string}, the shortest
+    decimal form that reparses to the identical bit pattern, so [show]
+    is canonical and digests are reproducible across runs. *)
+
+type 'a field
+(** One tunable scalar of a config record ['a]. *)
+
+type 'a spec
+(** The full tunable surface of a config record ['a]: an engine name,
+    defaults and an ordered field list. *)
+
+(** {2 Field constructors} *)
+
+val int : string -> doc:string -> get:('a -> int) -> set:(int -> 'a -> 'a) -> 'a field
+(** An integer field; the textual form is OCaml's [int_of_string]
+    grammar. *)
+
+val int_opt :
+  string -> doc:string -> get:('a -> int option) -> set:(int option -> 'a -> 'a) ->
+  'a field
+(** Optional int; the textual form of [None] is ["none"]. *)
+
+val float :
+  string -> doc:string -> get:('a -> float) -> set:(float -> 'a -> 'a) -> 'a field
+(** A float field; {!show} renders the shortest decimal form that
+    reparses to the exact same value (see {!float_to_string}). *)
+
+val bool : string -> doc:string -> get:('a -> bool) -> set:(bool -> 'a -> 'a) -> 'a field
+(** Textual forms ["true"]/["false"]. *)
+
+val enum :
+  string -> doc:string -> values:(string * 'v) list -> get:('a -> 'v) ->
+  set:('v -> 'a -> 'a) -> 'a field
+(** A closed set of named values (e.g. a branching rule).  [show]
+    renders the name of the current value; [values] must therefore
+    cover every value [get] can return, and names must be distinct. *)
+
+(** {2 Specs} *)
+
+val make : engine:string -> doc:string -> defaults:'a -> 'a field list -> 'a spec
+(** Field keys must be distinct.
+    @raise Invalid_argument on a duplicate key. *)
+
+val engine_name : 'a spec -> string
+(** The engine this spec configures — the prefix of the canonical
+    [ENGINE:KEY=VAL,...] form and of the digest input. *)
+
+val doc : 'a spec -> string
+(** The engine's one-line description (used by {!document}). *)
+
+val defaults : 'a spec -> 'a
+(** The options record a partial {!parse} starts from. *)
+
+val keys : 'a spec -> (string * string) list
+(** [(key, doc)] per field, in spec order — the [--engine-opt] help
+    surface. *)
+
+(** {2 Derived operations} *)
+
+val show : 'a spec -> 'a -> string
+(** Canonical form: every field as [key=value], comma-separated, in
+    spec order (a zero-field spec shows as [""]).  Canonical means:
+    equal configs produce equal strings, and the string reparses to an
+    equal config. *)
+
+val parse : 'a spec -> string -> ('a, string) result
+(** Inverse of {!show}, starting from {!defaults}: accepts
+    comma-separated [key=value] pairs (whitespace around pairs is
+    ignored; [""] parses to the defaults).  Unknown keys, malformed
+    pairs and unparseable values are [Error] with a message naming the
+    offending input. *)
+
+val apply : 'a spec -> 'a -> string -> ('a, string) result
+(** Apply one [key=value] pair to an existing config — the
+    [--engine-opt KEY=VAL] primitive. *)
+
+val to_args : 'a spec -> 'a -> string list
+(** One [key=value] argument per field, in spec order. *)
+
+val of_args : 'a spec -> string list -> ('a, string) result
+(** Fold {!apply} over the arguments, starting from {!defaults}. *)
+
+val digest : 'a spec -> 'a -> string
+(** Stable hex digest of the engine name and the canonical form —
+    the benchmark matrix's config key.  Equal configs have equal
+    digests; any tunable difference changes the digest. *)
+
+val document : 'a spec -> string
+(** Human-readable multi-line description: engine, doc line and every
+    field with its default — the [--list-engines] surface. *)
+
+(** {2 Helpers} *)
+
+val float_to_string : float -> string
+(** Shortest decimal rendering [s] of [f] with
+    [float_of_string s = f] (tries ["%.12g"], falls back to
+    ["%.17g"]); used by every float field so [show] is canonical. *)

@@ -10,8 +10,10 @@ val create : int -> t
 (** Heap over [0 .. n-1], initially empty, all priorities 0. *)
 
 val size : t -> int
+(** Number of elements currently in the heap. *)
 
 val is_empty : t -> bool
+(** [size t = 0]. *)
 
 val mem : t -> int -> bool
 (** Is the element currently in the heap? *)
@@ -25,6 +27,8 @@ val pop_max : t -> int
     @raise Not_found on an empty heap. *)
 
 val priority : t -> int -> float
+(** The element's current priority (tracked whether or not it is in
+    the heap). *)
 
 val set_priority : t -> int -> float -> unit
 (** Update the priority whether or not the element is in the heap,

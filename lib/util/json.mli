@@ -1,0 +1,50 @@
+(** Minimal JSON values.
+
+    The container ships no JSON library, so this is a small
+    self-contained parser and printer shared by the serve daemon's
+    JSONL protocol ({!Ec_server}) and the benchmark matrix's
+    append-only results store ([lib/harness/matrix.ml]) — enough for
+    objects of scalars, strings and (nested) arrays, with the
+    hostile-input guards a network-facing loop needs: a
+    recursion-depth bound, full escape handling (including [\uXXXX]
+    with surrogate pairs), and precise error positions for structured
+    [parse] error responses. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing whitespace allowed, trailing
+    garbage rejected.  [Error msg] carries a byte offset.  Nesting is
+    bounded (defense against ["[[[[..."] stack bombs). *)
+
+val to_string : t -> string
+(** Compact one-line rendering; object keys keep insertion order, so a
+    response built from the same fields is byte-identical across runs
+    (the serve chaos test diffs healthy-session responses). *)
+
+(** {2 Accessors} — shallow, total helpers for request decoding. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] for absent fields or non-objects. *)
+
+val to_string_opt : t -> string option
+(** [String] payload; [None] for any other constructor. *)
+
+val to_int_opt : t -> int option
+(** [Int] only — the serve protocol has no fractional fields. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] (widened) — results-store records mix the two. *)
+
+val to_bool_opt : t -> bool option
+(** [Bool] payload; [None] for any other constructor. *)
+
+val to_list_opt : t -> t list option
+(** [List] payload; [None] for any other constructor. *)

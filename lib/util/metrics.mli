@@ -78,6 +78,8 @@ val observe : histogram -> float -> unit
 (** Record one sample (no-op while disabled). *)
 
 val bucket_count : int
+(** Number of histogram buckets (fixed at creation, last bucket
+    unbounded). *)
 
 val bucket_le : int -> float
 (** Upper bound of bucket [i]; [infinity] for the last bucket. *)

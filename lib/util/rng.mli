@@ -26,6 +26,7 @@ val float : t -> float
 (** Uniform in [\[0, 1)]. *)
 
 val bool : t -> bool
+(** A fair coin flip. *)
 
 val pick : t -> 'a array -> 'a
 (** Uniform element of a non-empty array.

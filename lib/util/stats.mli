@@ -16,6 +16,7 @@ val min_max : float list -> float * float
 (** @raise Invalid_argument on the empty list. *)
 
 val sum : float list -> float
+(** Sum of the samples; 0.0 on the empty list. *)
 
 val geometric_mean : float list -> float
 (** Geometric mean of strictly positive samples; 0.0 on the empty

@@ -23,3 +23,4 @@ val cell_float : ?decimals:int -> float -> string
     (default 2). *)
 
 val cell_int : int -> string
+(** Format an int cell. *)

@@ -15,8 +15,10 @@ val make : int -> 'a -> 'a t
     [x] doubles as the dummy. *)
 
 val length : 'a t -> int
+(** Number of live elements. *)
 
 val is_empty : 'a t -> bool
+(** [length v = 0]. *)
 
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument if the index is out of bounds. *)
@@ -47,19 +49,28 @@ val swap_remove : 'a t -> int -> 'a
     Returns the removed element.  Order is not preserved. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
+(** Apply to each live element, index order. *)
 
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
+(** {!iter} with the index. *)
 
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Left fold over the live elements. *)
 
 val exists : ('a -> bool) -> 'a t -> bool
+(** Does any live element satisfy the predicate? *)
 
 val for_all : ('a -> bool) -> 'a t -> bool
+(** Do all live elements satisfy the predicate? *)
 
 val to_list : 'a t -> 'a list
+(** The live elements in index order. *)
 
 val of_list : dummy:'a -> 'a list -> 'a t
+(** A vector holding the list's elements in order. *)
 
 val to_array : 'a t -> 'a array
+(** A fresh array of the live elements. *)
 
 val copy : 'a t -> 'a t
+(** An independent copy (shares nothing with the original). *)
